@@ -1,0 +1,112 @@
+// Command sedna-bench runs the experiment suite of DESIGN.md (E1–E16) and
+// prints one comparison table per experiment — the reproduction of every
+// performance claim the paper makes in prose, each against the baseline the
+// paper positions itself against. Absolute numbers depend on the host; the
+// shapes (who wins, by roughly what factor) are the reproduction target
+// recorded in EXPERIMENTS.md.
+//
+//	sedna-bench            # run everything
+//	sedna-bench -run E3    # one experiment
+//	sedna-bench -scale 2   # larger corpora
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+type experiment struct {
+	id   string
+	name string
+	run  func(s *session) error
+}
+
+type session struct {
+	scale int
+	out   *tableWriter
+}
+
+var experiments []experiment
+
+func main() {
+	runFilter := flag.String("run", "", "run only experiments whose id contains this string")
+	scale := flag.Int("scale", 1, "corpus scale factor")
+	flag.Parse()
+
+	s := &session{scale: *scale, out: &tableWriter{}}
+	failed := 0
+	for _, e := range experiments {
+		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
+			continue
+		}
+		fmt.Printf("\n=== %s — %s ===\n", e.id, e.name)
+		start := time.Now()
+		if err := e.run(s); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			failed++
+			continue
+		}
+		fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// tableWriter prints aligned rows.
+type tableWriter struct{}
+
+func (t *tableWriter) table(headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			fmt.Fprintf(&sb, "  %-*s", widths[i], c)
+		}
+		fmt.Println(sb.String())
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func dur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+// timeIt runs fn `reps` times and returns the average duration.
+func timeIt(reps int, fn func() error) (time.Duration, error) {
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		if err := fn(); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(reps), nil
+}

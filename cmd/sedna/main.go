@@ -1,0 +1,142 @@
+// Command sedna is the interactive client shell. It connects to a sednad
+// server and executes XQuery queries, XUpdate statements and DDL.
+//
+//	sedna -addr 127.0.0.1:5050
+//
+// Statements are terminated by a line ending in ';' (the ';' is removed).
+// Shell commands:
+//
+//	\begin [ro]   start an explicit (read-only) transaction
+//	\commit       commit it
+//	\rollback     abort it
+//	\load FILE NAME   bulk-load an XML file as document NAME
+//	\q            quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sedna/client"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:5050", "server address")
+	flag.Parse()
+
+	c, err := client.Connect(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sedna: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s; end statements with ';', \\q to quit\n", *addr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var stmt strings.Builder
+	prompt := "sedna> "
+	for {
+		fmt.Print(prompt)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if stmt.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !command(c, trimmed) {
+				return
+			}
+			continue
+		}
+		stmt.WriteString(line)
+		stmt.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			src := strings.TrimSpace(stmt.String())
+			src = strings.TrimSuffix(src, ";")
+			stmt.Reset()
+			prompt = "sedna> "
+			run(c, src)
+		} else {
+			prompt = "   ... "
+		}
+	}
+}
+
+func run(c *client.Conn, src string) {
+	if strings.TrimSpace(src) == "" {
+		return
+	}
+	res, err := c.Execute(src)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if res.Data != "" {
+		fmt.Println(res.Data)
+	}
+	if res.Message != "" {
+		fmt.Println(res.Message)
+	}
+}
+
+func command(c *client.Conn, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case `\q`, `\quit`:
+		return false
+	case `\begin`:
+		ro := len(fields) > 1 && fields[1] == "ro"
+		if err := c.Begin(ro); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Println("transaction started")
+		}
+	case `\commit`:
+		if err := c.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Println("committed")
+		}
+	case `\rollback`:
+		if err := c.Rollback(); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Println("rolled back")
+		}
+	case `\load`:
+		if len(fields) != 3 {
+			fmt.Fprintln(os.Stderr, `usage: \load FILE NAME`)
+			return true
+		}
+		loadFile(c, fields[1], fields[2])
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %s\n", fields[0])
+	}
+	return true
+}
+
+// loadFile bulk-loads by creating the document and streaming its content as
+// one insert statement. Large documents should be loaded server-side; this
+// keeps the shell dependency-free.
+func loadFile(c *client.Conn, path, name string) {
+	content, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if _, err := c.Execute(fmt.Sprintf("CREATE DOCUMENT %q", name)); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	stmt := fmt.Sprintf("UPDATE insert %s into doc(%q)", string(content), name)
+	if _, err := c.Execute(stmt); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	fmt.Printf("loaded %s as %q\n", path, name)
+}

@@ -1,0 +1,49 @@
+// Command sednad runs the Sedna-Go database server: it opens (or creates)
+// a database directory and serves client sessions over TCP — the governor /
+// connection / transaction process architecture of the paper's Figure 1.
+//
+// Usage:
+//
+//	sednad -dir data/mydb -addr 127.0.0.1:5050
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"sedna/internal/core"
+	"sedna/internal/server"
+)
+
+func main() {
+	dir := flag.String("dir", "sedna-data", "database directory")
+	addr := flag.String("addr", "127.0.0.1:5050", "listen address")
+	bufPages := flag.Int("buffer-pages", 2048, "buffer pool size in 16KiB pages")
+	noSync := flag.Bool("nosync", false, "disable fsync (unsafe; benchmarks only)")
+	flag.Parse()
+
+	db, err := core.Open(*dir, core.Options{BufferPages: *bufPages, NoSync: *noSync})
+	if err != nil {
+		log.Fatalf("sednad: open: %v", err)
+	}
+	srv, err := server.Listen(db, *addr)
+	if err != nil {
+		db.Close()
+		log.Fatalf("sednad: listen: %v", err)
+	}
+	log.Printf("sednad: serving database %q on %s", *dir, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("sednad: shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("sednad: close server: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		log.Printf("sednad: close database: %v", err)
+	}
+}

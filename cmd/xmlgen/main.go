@@ -1,0 +1,47 @@
+// Command xmlgen writes synthetic XML corpora to stdout — the workload
+// generators used by the examples and the benchmark harness.
+//
+//	xmlgen -kind library -n 10000 > library.xml
+//	xmlgen -kind auction -people 500 -items 200 -bids 5 > auction.xml
+//	xmlgen -kind deep -depth 30 -fanout 4 > deep.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"sedna/internal/xmlgen"
+)
+
+func main() {
+	kind := flag.String("kind", "library", "library | auction | deep")
+	n := flag.Int("n", 1000, "library: number of entries")
+	people := flag.Int("people", 100, "auction: number of people")
+	items := flag.Int("items", 50, "auction: number of items")
+	bids := flag.Int("bids", 3, "auction: bids per item")
+	depth := flag.Int("depth", 20, "deep: tree depth")
+	fanout := flag.Int("fanout", 3, "deep: children per level")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	var err error
+	switch *kind {
+	case "library":
+		err = xmlgen.Library(w, *n, *seed)
+	case "auction":
+		err = xmlgen.Auction(w, *people, *items, *bids, *seed)
+	case "deep":
+		err = xmlgen.Deep(w, *depth, *fanout)
+	default:
+		fmt.Fprintf(os.Stderr, "xmlgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xmlgen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+package sedna_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sedna"
+)
+
+// ExampleOpen shows the embedded quickstart: load, query, update.
+func ExampleOpen() {
+	dir, _ := os.MkdirTemp("", "sedna-example-*")
+	defer os.RemoveAll(dir)
+
+	db, err := sedna.Open(dir+"/db", &sedna.Options{NoSync: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.LoadXMLString("library", `<library>
+	  <book><title>Foundations of Databases</title><author>Abiteboul</author></book>
+	  <book><title>Transaction Processing</title><author>Gray</author></book>
+	</library>`); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Query(`doc("library")//book[author = "Gray"]/title/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Data)
+
+	if _, err := db.Execute(`UPDATE insert <year>1992</year>
+	                         into doc("library")//book[author = "Gray"]`); err != nil {
+		log.Fatal(err)
+	}
+	res, _ = db.Query(`data(doc("library")//book[author = "Gray"]/year)`)
+	fmt.Println(res.Data)
+	// Output:
+	// Transaction Processing
+	// 1992
+}
+
+// ExampleDB_BeginReadOnly shows snapshot isolation: a read-only transaction
+// keeps seeing the state it started with.
+func ExampleDB_BeginReadOnly() {
+	dir, _ := os.MkdirTemp("", "sedna-example-*")
+	defer os.RemoveAll(dir)
+	db, _ := sedna.Open(dir+"/db", &sedna.Options{NoSync: true})
+	defer db.Close()
+	db.LoadXMLString("d", `<r><v>old</v></r>`)
+
+	snap, _ := db.BeginReadOnly()
+	defer snap.Rollback()
+
+	db.Execute(`UPDATE replace $v in doc("d")/r/v with <v>new</v>`)
+
+	before, _ := snap.Execute(`doc("d")/r/v/text()`)
+	after, _ := db.Query(`doc("d")/r/v/text()`)
+	fmt.Println(before.Data, after.Data)
+	// Output: old new
+}

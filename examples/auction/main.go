@@ -1,0 +1,87 @@
+// Auction: an XMark-inspired analytical workload over a deeper, more varied
+// document — FLWOR joins between people and bids, aggregation, ordering and
+// element construction.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sedna"
+	"sedna/internal/xmlgen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sedna-auction-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := sedna.Open(filepath.Join(dir, "db"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	fmt.Println("loading auction site (400 people, 150 auctions, 4 bids each)...")
+	doc := xmlgen.AuctionString(400, 150, 4, 7)
+	if err := db.LoadXML("auction", strings.NewReader(doc)); err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(title, q string) {
+		start := time.Now()
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatalf("%s: %v", title, err)
+		}
+		out := res.Data
+		if len(out) > 120 {
+			out = out[:120] + "..."
+		}
+		fmt.Printf("\n%s (%v)\n  %s\n", title, time.Since(start).Round(time.Microsecond), out)
+	}
+
+	run("Q1: how many bids in total?",
+		`count(doc("auction")//bidder)`)
+
+	run("Q2: the five highest current prices",
+		`string-join(
+		   for $p in (for $a in doc("auction")//open_auction
+		              order by number($a/current) descending
+		              return $a/current/text())[position() <= 5]
+		   return string($p), ", ")`)
+
+	run("Q3: auctions whose current price grew past 20x the initial",
+		`count(for $a in doc("auction")//open_auction
+		       where number($a/current) > 20 * number($a/initial)
+		       return $a)`)
+
+	run("Q4: people with a stated interest in Databases",
+		`count(doc("auction")//person[profile/interest = "Databases"])`)
+
+	run("Q5: construct a report of expensive european items",
+		`<report>{
+		   for $i in doc("auction")/site/regions/europe/item
+		   where number($i/quantity) >= 5
+		   return <lot name="{$i/name/text()}" qty="{$i/quantity/text()}"/>
+		 }</report>`)
+
+	run("Q6: average number of bids per auction",
+		`avg(for $a in doc("auction")//open_auction return count($a/bidder))`)
+
+	// An update workload: close cheap auctions.
+	res, err := db.Execute(
+		`UPDATE delete doc("auction")//open_auction[number(current) < 100]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclosed %d cheap auctions\n", res.Updated)
+	res, _ = db.Query(`count(doc("auction")//open_auction)`)
+	fmt.Printf("auctions remaining: %s\n", res.Data)
+}

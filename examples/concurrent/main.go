@@ -1,0 +1,113 @@
+// Concurrent: demonstrates §6 — updaters mutate a document under
+// document-granularity strict 2PL while snapshot (read-only) transactions
+// keep reading consistent states without ever blocking (§6.3), and a
+// long-lived snapshot observes the state it started with even as commits
+// land.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sedna"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sedna-concurrent-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := sedna.Open(filepath.Join(dir, "db"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.LoadXMLString("counter", `<state><items></items></state>`); err != nil {
+		log.Fatal(err)
+	}
+
+	// A long-lived snapshot taken before any update.
+	longSnap, err := db.BeginReadOnly()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const writers = 2
+	const readers = 4
+	const writesEach = 50
+
+	var writerWG, readerWG sync.WaitGroup
+	var readsDone atomic.Int64
+	stop := make(chan struct{})
+
+	// Writers append items, each in its own committed transaction.
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < writesEach; i++ {
+				stmt := fmt.Sprintf(
+					`UPDATE insert <item w="%d" n="%d"/> into doc("counter")/state/items`, w, i)
+				if _, err := db.Execute(stmt); err != nil {
+					log.Printf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Readers run snapshot queries concurrently; they never wait for
+	// writers' locks.
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Query(`count(doc("counter")//item)`); err != nil {
+					log.Printf("reader: %v", err)
+					return
+				}
+				readsDone.Add(1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	elapsed := time.Since(start)
+
+	res, err := db.Query(`count(doc("counter")//item)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final item count: %s (want %d)\n", res.Data, writers*writesEach)
+	fmt.Printf("snapshot reads completed while writing: %d in %v\n",
+		readsDone.Load(), elapsed.Round(time.Millisecond))
+
+	// The long-lived snapshot still sees the initial, empty state.
+	resOld, err := longSnap.Execute(`count(doc("counter")//item)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("long-lived snapshot still sees: %s items (consistent past state)\n", resOld.Data)
+	longSnap.Rollback()
+
+	st := db.BufferStats()
+	fmt.Printf("page versions made: %d, purged: %d (piggybacked, §6.1)\n",
+		st.VersionsMade, st.VersionsFreed)
+}

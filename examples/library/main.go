@@ -1,0 +1,92 @@
+// Library: reproduces the paper's Figure 2 behaviourally. It loads a scaled
+// library corpus, prints the descriptive schema tree (the figure's central
+// structure) with per-schema-node node/block counts, shows how the
+// schema acts as a naturally built index for path queries, and demonstrates
+// updates maintaining the clustering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sedna"
+	"sedna/internal/xmlgen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sedna-library-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := sedna.Open(filepath.Join(dir, "db"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	const entries = 5000
+	fmt.Printf("loading a %d-entry library corpus...\n", entries)
+	start := time.Now()
+	if err := db.LoadXML("library", strings.NewReader(xmlgen.LibraryString(entries, 42))); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	// Figure 2: the descriptive schema is a concise structure summary —
+	// every path in the document has exactly one schema path, and each
+	// schema node heads the block list clustering its nodes.
+	tx, err := db.BeginReadOnly()
+	if err != nil {
+		log.Fatal(err)
+	}
+	root, _ := tx.Document("library")
+	kids, _ := root.Children()
+	fmt.Println("descriptive schema (cf. paper Figure 2):")
+	fmt.Print(kids[0].SchemaDump())
+	tx.Rollback()
+
+	// The schema-driven layout answers selective path queries by touching
+	// only the matching schema nodes' blocks.
+	queries := []string{
+		`count(doc("library")/library/book)`,
+		`count(doc("library")//author)`,
+		`doc("library")/library/book[10]/title/text()`,
+		`count(doc("library")//issue[year > 2000])`,
+		`string-join(distinct-values(for $p in doc("library")//publisher return string($p)), ", ")`,
+	}
+	for _, q := range queries {
+		start := time.Now()
+		res, err := db.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s\n  => %.80s  (%v, %d schema scans)\n",
+			q, res.Data, time.Since(start).Round(time.Microsecond), res.Stats.SchemaScans)
+	}
+
+	// Value index + explicit index scan (cost-based selection is future
+	// work in the paper, as in the original Sedna).
+	if _, err := db.Execute(`CREATE INDEX "byyear" ON doc("library")/library/book BY year AS number`); err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Query(`count(index-scan("byyear", 1995))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbooks from 1995 via value index: %s\n", res.Data)
+
+	// Updates keep the clustering and the index consistent.
+	if _, err := db.Execute(`UPDATE insert
+	    <book><title>Transaction Processing</title><author>Gray</author><year>1995</year></book>
+	    into doc("library")/library`); err != nil {
+		log.Fatal(err)
+	}
+	res, _ = db.Query(`count(index-scan("byyear", 1995))`)
+	fmt.Printf("after inserting one more 1995 book: %s\n", res.Data)
+}

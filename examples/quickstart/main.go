@@ -1,0 +1,84 @@
+// Quickstart: open a database, load a document, query it, update it, and
+// read it back — the minimal end-to-end tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sedna"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sedna-quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := sedna.Open(filepath.Join(dir, "db"), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Load the paper's running example.
+	err = db.LoadXMLString("library", `
+		<library>
+		  <book>
+		    <title>Foundations of Databases</title>
+		    <author>Abiteboul</author><author>Hull</author><author>Vianu</author>
+		  </book>
+		  <book>
+		    <title>An Introduction to Database Systems</title>
+		    <author>Date</author>
+		    <issue><publisher>Addison-Wesley</publisher><year>2004</year></issue>
+		  </book>
+		  <paper>
+		    <title>A Relational Model for Large Shared Data Banks</title>
+		    <author>Codd</author>
+		  </paper>
+		</library>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query with XQuery.
+	res, err := db.Query(`for $b in doc("library")/library/book
+	                      where count($b/author) > 1
+	                      return $b/title/text()`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books with several authors:", res.Data)
+
+	// Update with XUpdate.
+	if _, err := db.Execute(`UPDATE insert <year>1995</year> into doc("library")/library/book[1]`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Element construction.
+	res, err = db.Query(`<summary books="{count(doc("library")//book)}"
+	                              papers="{count(doc("library")//paper)}"/>`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("summary:", res.Data)
+
+	// Direct navigation API.
+	tx, err := db.BeginReadOnly()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tx.Rollback()
+	root, err := tx.Document("library")
+	if err != nil {
+		log.Fatal(err)
+	}
+	kids, _ := root.Children()
+	lib := kids[0]
+	fmt.Println("descriptive schema of the document:")
+	fmt.Print(lib.SchemaDump())
+}

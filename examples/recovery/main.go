@@ -1,0 +1,123 @@
+// Recovery: demonstrates §6.4 and §6.5 — write-ahead logging, the two-step
+// crash recovery (persistent-snapshot restore + committed-transaction
+// redo), and hot backup with incremental point-in-time restore.
+//
+// A crash is simulated by abandoning the database files without a clean
+// shutdown and reopening them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"sedna"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "sedna-recovery-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dbDir := filepath.Join(dir, "db")
+
+	// --- Phase 1: committed work, then a "crash" -------------------------
+	db, err := sedna.Open(dbDir, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.LoadXMLString("accounts", `<accounts>
+	    <account id="a"><balance>100</balance></account>
+	    <account id="b"><balance>50</balance></account>
+	  </accounts>`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A committed post-checkpoint transaction (must survive)...
+	if _, err := db.Execute(`UPDATE replace $b in doc("accounts")//account[@id = "a"]/balance
+	                         with <balance>75</balance>`); err != nil {
+		log.Fatal(err)
+	}
+	// ...and an uncommitted one (must disappear).
+	tx, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tx.Execute(`UPDATE delete doc("accounts")//account[@id = "b"]`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("simulating a crash with one committed and one in-flight transaction...")
+	// Abandon everything without Close: the crash. (The open files are
+	// dropped with the process in a real crash; here we just reopen.)
+	crash(db)
+
+	// --- Phase 2: recovery ----------------------------------------------
+	db2, err := sedna.Open(dbDir, nil) // Open always runs two-step recovery
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db2.Query(`data(doc("accounts")//account[@id = "a"]/balance)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("account a after recovery: %s (committed update redone)\n", res.Data)
+	res, err = db2.Query(`count(doc("accounts")//account)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accounts after recovery: %s (uncommitted delete discarded)\n", res.Data)
+
+	// --- Phase 3: hot backup + point-in-time restore ---------------------
+	backupDir := filepath.Join(dir, "backup")
+	if err := db2.Backup(backupDir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("full hot backup taken")
+
+	if _, err := db2.Execute(`UPDATE insert <account id="c"><balance>10</balance></account>
+	                          into doc("accounts")/accounts`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db2.BackupIncremental(backupDir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("incremental backup 1 taken (account c)")
+
+	if _, err := db2.Execute(`UPDATE insert <account id="d"><balance>20</balance></account>
+	                          into doc("accounts")/accounts`); err != nil {
+		log.Fatal(err)
+	}
+	if err := db2.BackupIncremental(backupDir); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("incremental backup 2 taken (account d)")
+	db2.Close()
+
+	// Restore to the state after incremental 1 — point-in-time recovery.
+	restored := filepath.Join(dir, "restored")
+	if err := sedna.Restore(backupDir, restored, 1); err != nil {
+		log.Fatal(err)
+	}
+	db3, err := sedna.Open(restored, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db3.Close()
+	res, err = db3.Query(`string-join(for $a in doc("accounts")//account return string($a/@id), ",")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accounts in point-in-time restore (after incremental 1): %s\n", res.Data)
+}
+
+// crash abandons the database as a crash would. The test suite uses an
+// internal hook; for the example we simply leak the handles — the files on
+// disk are in exactly the state a kill -9 would leave.
+func crash(db *sedna.DB) {
+	_ = db // intentionally no Close
+}

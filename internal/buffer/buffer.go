@@ -1,0 +1,563 @@
+// Package buffer implements the Sedna buffer manager together with the two
+// mechanisms the paper builds on top of it:
+//
+//   - the layer-mapping dereference of §4.2 / Fig. 4: an address within a
+//     layer maps to a virtual-address slot on an equality basis, so a SAS
+//     pointer dereference is a slot lookup plus a layer-number check, with a
+//     buffer-manager "memory fault" on mismatch — no pointer swizzling;
+//
+//   - page-level multiversioning of §6.1: the first update to a page inside
+//     a transaction pushes a copy-on-write pre-image onto the page's version
+//     chain, commit stamps the page with a commit timestamp, and snapshot
+//     (read-only) transactions resolve the newest version not newer than
+//     their snapshot timestamp. Old versions are purged when no active
+//     snapshot can reach them, piggybacked on new-version creation.
+//
+// The buffer manager also enforces the interaction with recovery: before a
+// page that existed in the persistent snapshot is overwritten in the data
+// file, its checkpoint-time content is saved to the snapshot area (§6.4).
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sedna/internal/pagefile"
+	"sedna/internal/sas"
+)
+
+// ErrBusy reports that every frame is pinned and none can be evicted.
+var ErrBusy = errors.New("buffer: all frames pinned")
+
+// ErrWriteConflict reports that a transaction tried to update a page that
+// carries uncommitted changes of another transaction. Document-granularity
+// strict 2PL makes this unreachable in normal operation; it guards the
+// invariant.
+var ErrWriteConflict = errors.New("buffer: page has uncommitted changes of another transaction")
+
+// Frame is a main-memory copy of one page.
+type Frame struct {
+	id   sas.PageID
+	data []byte
+	pin  int
+	lru  *list.Element
+}
+
+// ID returns the identity of the page held by the frame.
+func (f *Frame) ID() sas.PageID { return f.id }
+
+// Data returns the page bytes. The caller must hold the frame pinned while
+// reading or writing, and must hold the owning document's lock (or be the
+// sole writer) while writing.
+func (f *Frame) Data() []byte { return f.data }
+
+// pageVersion is one committed pre-image on a page's version chain.
+type pageVersion struct {
+	ts   uint64 // commit timestamp of this content
+	data []byte
+}
+
+type slotEntry struct {
+	layer uint32
+	frame *Frame
+}
+
+// Stats counts buffer-manager events; used by the E3/E10/E12 experiments.
+type Stats struct {
+	Hits          uint64 // dereferences answered by the mapped slot
+	Faults        uint64 // dereferences that missed the slot mapping
+	DiskReads     uint64
+	DiskWrites    uint64
+	Evictions     uint64
+	SnapSaves     uint64 // persistent-snapshot copies taken before overwrite
+	VersionsMade  uint64 // pre-images pushed
+	VersionsFreed uint64 // pre-images purged
+	SnapshotReads uint64 // page reads resolved for snapshot transactions
+}
+
+// Manager is the buffer manager.
+type Manager struct {
+	mu sync.Mutex
+
+	pf   *pagefile.File
+	snap *pagefile.SnapArea
+
+	capacity int
+	frames   map[sas.PageID]*Frame
+	lru      *list.List // front = most recently used
+
+	// slots emulates the process virtual address range one layer maps to:
+	// slots[pageIndex] records which layer's page is currently mapped at
+	// that address. Equality-basis mapping means a pointer's page index IS
+	// its slot index.
+	slots []slotEntry
+
+	// Versioning state. It is keyed by page identity, not by frame, so it
+	// survives eviction.
+	pageTS   map[sas.PageID]uint64              // commit TS of the live content
+	dirtyBy  map[sas.PageID]uint64              // txn holding uncommitted changes
+	dirty    map[sas.PageID]bool                // live content differs from disk
+	chains   map[sas.PageID][]pageVersion       // newest first
+	txnPages map[uint64]map[sas.PageID]struct{} // pages dirtied per txn
+
+	walFlush    func() error    // flush the WAL; called before any page write (WAL rule)
+	activeSnaps func() []uint64 // timestamps of active snapshots, for purge
+
+	stats Stats
+}
+
+// New creates a buffer manager over the data file and snapshot area with
+// room for capacity frames.
+func New(pf *pagefile.File, snap *pagefile.SnapArea, capacity int) *Manager {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Manager{
+		pf:       pf,
+		snap:     snap,
+		capacity: capacity,
+		frames:   make(map[sas.PageID]*Frame),
+		lru:      list.New(),
+		slots:    make([]slotEntry, sas.PagesPerLayer),
+		pageTS:   make(map[sas.PageID]uint64),
+		dirtyBy:  make(map[sas.PageID]uint64),
+		dirty:    make(map[sas.PageID]bool),
+		chains:   make(map[sas.PageID][]pageVersion),
+		txnPages: make(map[uint64]map[sas.PageID]struct{}),
+	}
+}
+
+// SetWALFlush installs the hook that flushes the write-ahead log; it is
+// invoked before any dirty page reaches the data file.
+func (m *Manager) SetWALFlush(fn func() error) { m.walFlush = fn }
+
+// SetActiveSnapshots installs the provider of active snapshot timestamps
+// used by version purging.
+func (m *Manager) SetActiveSnapshots(fn func() []uint64) { m.activeSnaps = fn }
+
+// Stats returns a copy of the event counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Capacity returns the frame-pool capacity.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Deref resolves a SAS pointer to its page frame through the layer-mapping
+// fast path: the pointer's page index selects the slot; if the resident
+// layer matches the pointer's layer the dereference costs one comparison
+// (the paper's "comparable to a conventional pointer"). A mismatch is the
+// emulated memory fault handled by loading the page. The frame is returned
+// pinned; the caller must Unpin it.
+func (m *Manager) Deref(p sas.XPtr) (*Frame, error) {
+	if p.IsNil() {
+		return nil, errors.New("buffer: dereference of nil XPtr")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	slot := p.PageIndex()
+	if e := &m.slots[slot]; e.frame != nil && e.layer == p.Layer() {
+		m.stats.Hits++
+		m.touch(e.frame)
+		e.frame.pin++
+		return e.frame, nil
+	}
+	m.stats.Faults++
+	f, err := m.loadLocked(sas.PageIDOf(p))
+	if err != nil {
+		return nil, err
+	}
+	m.slots[slot] = slotEntry{layer: p.Layer(), frame: f}
+	f.pin++
+	return f, nil
+}
+
+// Pin loads (if necessary) and pins the page. Unlike Deref it does not go
+// through or update the layer mapping.
+func (m *Manager) Pin(id sas.PageID) (*Frame, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, err := m.loadLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	f.pin++
+	return f, nil
+}
+
+// Unpin releases a pin taken by Pin, Deref, PinWrite or PinNew.
+func (m *Manager) Unpin(f *Frame) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if f.pin <= 0 {
+		panic("buffer: Unpin of unpinned frame")
+	}
+	f.pin--
+}
+
+// PinWrite prepares the page for modification by txn: on the first touch it
+// pushes the committed pre-image onto the version chain and registers the
+// page in the transaction's dirty set. The frame is returned pinned.
+func (m *Manager) PinWrite(id sas.PageID, txn uint64) (*Frame, error) {
+	if txn == 0 {
+		panic("buffer: PinWrite with zero txn id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if owner := m.dirtyBy[id]; owner != 0 && owner != txn {
+		return nil, fmt.Errorf("%w: page %v owned by txn %d", ErrWriteConflict, id, owner)
+	}
+	f, err := m.loadLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if m.dirtyBy[id] != txn {
+		pre := make([]byte, sas.PageSize)
+		copy(pre, f.data)
+		m.chains[id] = append([]pageVersion{{ts: m.pageTS[id], data: pre}}, m.chains[id]...)
+		m.stats.VersionsMade++
+		m.dirtyBy[id] = txn
+		m.purgeChainLocked(id)
+		tp := m.txnPages[txn]
+		if tp == nil {
+			tp = make(map[sas.PageID]struct{})
+			m.txnPages[txn] = tp
+		}
+		tp[id] = struct{}{}
+	}
+	m.dirty[id] = true
+	f.pin++
+	return f, nil
+}
+
+// PinNew prepares a newly allocated page for txn: it behaves like PinWrite
+// (so that recycled pages keep a pre-image for snapshot readers and for
+// rollback) and zeroes the content. The frame is returned pinned.
+func (m *Manager) PinNew(id sas.PageID, txn uint64) (*Frame, error) {
+	f, err := m.PinWrite(id, txn)
+	if err != nil {
+		return nil, err
+	}
+	data := f.Data()
+	for i := range data {
+		data[i] = 0
+	}
+	return f, nil
+}
+
+// loadLocked returns the frame for id, reading it from disk if absent.
+func (m *Manager) loadLocked(id sas.PageID) (*Frame, error) {
+	if f := m.frames[id]; f != nil {
+		m.touch(f)
+		return f, nil
+	}
+	f, err := m.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.pf.ReadPage(id, f.data); err != nil {
+		m.dropFrameLocked(f)
+		return nil, err
+	}
+	m.stats.DiskReads++
+	return f, nil
+}
+
+// newFrameLocked allocates a frame for id, evicting if the pool is full.
+func (m *Manager) newFrameLocked(id sas.PageID) (*Frame, error) {
+	for len(m.frames) >= m.capacity {
+		if err := m.evictOneLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{id: id, data: make([]byte, sas.PageSize)}
+	f.lru = m.lru.PushFront(f)
+	m.frames[id] = f
+	return f, nil
+}
+
+func (m *Manager) touch(f *Frame) {
+	m.lru.MoveToFront(f.lru)
+}
+
+func (m *Manager) dropFrameLocked(f *Frame) {
+	m.lru.Remove(f.lru)
+	delete(m.frames, f.id)
+	slot := f.id.Page
+	if e := &m.slots[slot]; e.frame == f {
+		*e = slotEntry{}
+	}
+}
+
+// evictOneLocked writes back and drops the least recently used unpinned
+// frame.
+func (m *Manager) evictOneLocked() error {
+	for el := m.lru.Back(); el != nil; el = el.Prev() {
+		f := el.Value.(*Frame)
+		if f.pin > 0 {
+			continue
+		}
+		if m.dirty[f.id] {
+			if err := m.flushFrameLocked(f); err != nil {
+				return err
+			}
+		}
+		m.dropFrameLocked(f)
+		m.stats.Evictions++
+		return nil
+	}
+	return ErrBusy
+}
+
+// flushFrameLocked writes the frame to the data file, observing the WAL rule
+// and the persistent-snapshot save-before-overwrite rule.
+func (m *Manager) flushFrameLocked(f *Frame) error {
+	if m.walFlush != nil {
+		if err := m.walFlush(); err != nil {
+			return err
+		}
+	}
+	if m.snap != nil && !m.pf.IsFreshSinceCheckpoint(f.id) && !m.snap.Saved(f.id) {
+		// The checkpoint-time content is the current on-disk content: this
+		// is the first overwrite since the checkpoint.
+		old := make([]byte, sas.PageSize)
+		if err := m.pf.ReadPage(f.id, old); err != nil {
+			return err
+		}
+		if err := m.snap.Save(f.id, old); err != nil {
+			return err
+		}
+		m.stats.SnapSaves++
+	}
+	if err := m.pf.WritePage(f.id, f.data); err != nil {
+		return err
+	}
+	m.stats.DiskWrites++
+	delete(m.dirty, f.id)
+	return nil
+}
+
+// CommitTxn makes txn's pages committed at commit timestamp cts.
+func (m *Manager) CommitTxn(txn, cts uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.txnPages[txn] {
+		delete(m.dirtyBy, id)
+		m.pageTS[id] = cts
+	}
+	delete(m.txnPages, txn)
+}
+
+// RollbackTxn restores the pre-images of every page txn dirtied and discards
+// the transaction's versions.
+func (m *Manager) RollbackTxn(txn uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.txnPages[txn] {
+		chain := m.chains[id]
+		if len(chain) > 0 && chain[0].ts == m.pageTS[id] {
+			// The chain top is the pre-image pushed by this transaction's
+			// first touch: copy it back and pop it.
+			f, err := m.loadLocked(id)
+			if err != nil {
+				return err
+			}
+			copy(f.data, chain[0].data)
+			if len(chain) == 1 {
+				delete(m.chains, id)
+			} else {
+				m.chains[id] = chain[1:]
+			}
+			m.stats.VersionsFreed++
+			m.dirty[id] = true // disk may hold the discarded bytes
+		} else {
+			// Freshly allocated page (PinNew): no pre-image to restore. The
+			// content is unreachable garbage; zero it defensively.
+			if f := m.frames[id]; f != nil {
+				for i := range f.data {
+					f.data[i] = 0
+				}
+			}
+			m.dirty[id] = true
+		}
+		delete(m.dirtyBy, id)
+	}
+	delete(m.txnPages, txn)
+	return nil
+}
+
+// ReadSnapshot copies the content of the page as of snapshot timestamp
+// snapTS into buf. A page that did not exist at the snapshot reads as
+// zeros.
+func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
+	if len(buf) != sas.PageSize {
+		return fmt.Errorf("buffer: ReadSnapshot buffer is %d bytes", len(buf))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.SnapshotReads++
+	if m.dirtyBy[id] == 0 && m.pageTS[id] <= snapTS {
+		// The live content is visible.
+		if f := m.frames[id]; f != nil {
+			m.touch(f)
+			copy(buf, f.data)
+			return nil
+		}
+		if err := m.pf.ReadPage(id, buf); err != nil {
+			return err
+		}
+		m.stats.DiskReads++
+		return nil
+	}
+	for _, v := range m.chains[id] {
+		if v.ts <= snapTS {
+			copy(buf, v.data)
+			return nil
+		}
+	}
+	// No version old enough: the page did not exist at the snapshot.
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// purgeChainLocked drops versions of the page that no active snapshot can
+// read. A version with timestamp v.ts is the visible one for snapshot s iff
+// v.ts <= s and s is below the timestamp of the next newer content.
+func (m *Manager) purgeChainLocked(id sas.PageID) {
+	chain := m.chains[id]
+	if len(chain) == 0 {
+		return
+	}
+	var snaps []uint64
+	if m.activeSnaps != nil {
+		snaps = m.activeSnaps()
+	}
+	nextTS := m.pageTS[id] // timestamp of the next newer content (live)
+	dirty := m.dirtyBy[id] != 0
+	kept := chain[:0]
+	for i, v := range chain {
+		needed := false
+		if dirty && i == 0 {
+			// The live content is uncommitted and invisible: the chain top
+			// is the visible version for every snapshot at or above its
+			// timestamp, and it is also the rollback pre-image. Always keep
+			// it.
+			needed = true
+		} else {
+			for _, s := range snaps {
+				if v.ts <= s && s < nextTS {
+					needed = true
+					break
+				}
+			}
+		}
+		if needed {
+			kept = append(kept, v)
+		} else {
+			m.stats.VersionsFreed++
+		}
+		nextTS = v.ts
+	}
+	if len(kept) == 0 {
+		delete(m.chains, id)
+	} else {
+		m.chains[id] = kept
+	}
+}
+
+// PurgeAllVersions runs the purge rule over every chain; the transaction
+// manager calls it when snapshots advance.
+func (m *Manager) PurgeAllVersions() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for id := range m.chains {
+		if m.dirtyBy[id] != 0 {
+			// The chain top is an uncommitted pre-image; leave the chain to
+			// rollback/commit handling.
+			continue
+		}
+		m.purgeChainLocked(id)
+	}
+}
+
+// VersionCount returns the total number of retained pre-images (for tests
+// and the E12 experiment).
+func (m *Manager) VersionCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, c := range m.chains {
+		n += len(c)
+	}
+	return n
+}
+
+// FlushCommitted writes every committed dirty page to the data file (with
+// snapshot-area saves) and syncs. Uncommitted pages are skipped. The engine
+// must quiesce writers first.
+func (m *Manager) FlushCommitted() error {
+	m.mu.Lock()
+	var ids []sas.PageID
+	for id := range m.dirty {
+		if m.dirtyBy[id] == 0 {
+			ids = append(ids, id)
+		}
+	}
+	for _, id := range ids {
+		f, err := m.loadLocked(id)
+		if err != nil {
+			m.mu.Unlock()
+			return err
+		}
+		if err := m.flushFrameLocked(f); err != nil {
+			m.mu.Unlock()
+			return err
+		}
+	}
+	m.mu.Unlock()
+	return m.pf.Sync()
+}
+
+// DropVersions discards every version chain and commit-timestamp record.
+// Used after recovery and at shutdown, when no snapshots exist.
+func (m *Manager) DropVersions() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.chains = make(map[sas.PageID][]pageVersion)
+	m.pageTS = make(map[sas.PageID]uint64)
+}
+
+// InvalidateAll drops every frame and mapping without writing anything.
+// Used by recovery before re-reading the restored data file, and by hot
+// backup tests. Panics if any frame is pinned.
+func (m *Manager) InvalidateAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.frames {
+		if f.pin > 0 {
+			panic("buffer: InvalidateAll with pinned frames")
+		}
+	}
+	m.frames = make(map[sas.PageID]*Frame)
+	m.lru = list.New()
+	m.slots = make([]slotEntry, sas.PagesPerLayer)
+	m.dirty = make(map[sas.PageID]bool)
+	m.dirtyBy = make(map[sas.PageID]uint64)
+	m.txnPages = make(map[uint64]map[sas.PageID]struct{})
+	m.chains = make(map[sas.PageID][]pageVersion)
+	m.pageTS = make(map[sas.PageID]uint64)
+}
+
+// DirtyCount returns the number of pages whose live content differs from
+// disk.
+func (m *Manager) DirtyCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.dirty)
+}

@@ -1,0 +1,65 @@
+package buffer
+
+import (
+	"sync"
+
+	"sedna/internal/sas"
+)
+
+// SwizzleDeref is the baseline pointer-dereferencing strategy that Sedna's
+// layer mapping is designed to beat (§2, §4.2): database addresses and
+// virtual addresses have different representations, so every dereference
+// must translate a disk pointer to an in-memory frame through a mapping
+// structure (the software side of pointer swizzling as in ObjectStore or
+// QuickStore). The translation here is a hash-map lookup keyed by the page
+// base; the layer-mapped scheme replaces it with an array index plus one
+// comparison.
+type SwizzleDeref struct {
+	mu    sync.Mutex
+	m     *Manager
+	table map[sas.XPtr]*Frame
+
+	hits, faults uint64
+}
+
+// NewSwizzleDeref wraps the buffer manager with the baseline dereferencer.
+func NewSwizzleDeref(m *Manager) *SwizzleDeref {
+	return &SwizzleDeref{m: m, table: make(map[sas.XPtr]*Frame)}
+}
+
+// Deref resolves a SAS pointer through the swizzling table. The frame is
+// returned pinned; Unpin through the underlying manager.
+func (s *SwizzleDeref) Deref(p sas.XPtr) (*Frame, error) {
+	base := p.PageBase()
+	s.mu.Lock()
+	if f, ok := s.table[base]; ok {
+		s.hits++
+		s.mu.Unlock()
+		// Re-pin through the manager so pin accounting stays correct.
+		return s.m.Pin(f.ID())
+	}
+	s.faults++
+	s.mu.Unlock()
+	f, err := s.m.Pin(sas.PageIDOf(p))
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.table[base] = f
+	s.mu.Unlock()
+	return f, nil
+}
+
+// Invalidate drops a translation (needed when the page is evicted).
+func (s *SwizzleDeref) Invalidate(p sas.XPtr) {
+	s.mu.Lock()
+	delete(s.table, p.PageBase())
+	s.mu.Unlock()
+}
+
+// Counters returns hit and fault counts.
+func (s *SwizzleDeref) Counters() (hits, faults uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.faults
+}

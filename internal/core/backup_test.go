@@ -1,0 +1,187 @@
+package core
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFullBackupAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(filepath.Join(dir, "db"), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tx.LoadXML("library.xml", strings.NewReader(libraryXML))
+	tx.Commit()
+
+	backupDir := filepath.Join(dir, "backup")
+	if err := db.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	// The source database keeps working after the backup.
+	tx2, _ := db.Begin()
+	tx2.LoadXML("post.xml", strings.NewReader("<p/>"))
+	tx2.Commit()
+	db.Close()
+
+	restored := filepath.Join(dir, "restored")
+	if err := Restore(backupDir, restored, -1); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(restored, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	out := serialize(t, db2, "library.xml")
+	if !strings.Contains(out, "Abiteboul") {
+		t.Fatal("restored database lost content")
+	}
+	// post.xml was created after the backup: not in the restore.
+	r, _ := db2.BeginReadOnly()
+	defer r.Rollback()
+	if _, err := r.Document("post.xml"); err == nil {
+		t.Fatal("post-backup document must not be in the restore")
+	}
+}
+
+func TestIncrementalBackupPointInTime(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(filepath.Join(dir, "db"), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tx.LoadXML("a.xml", strings.NewReader("<a>base</a>"))
+	tx.Commit()
+
+	backupDir := filepath.Join(dir, "backup")
+	if err := db.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 1: add b.xml, take incremental 1.
+	tx, _ = db.Begin()
+	tx.LoadXML("b.xml", strings.NewReader("<b/>"))
+	tx.Commit()
+	if err := db.BackupIncremental(backupDir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Era 2: add c.xml, take incremental 2.
+	tx, _ = db.Begin()
+	tx.LoadXML("c.xml", strings.NewReader("<c/>"))
+	tx.Commit()
+	if err := db.BackupIncremental(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Restore to era 1: a and b present, c absent.
+	restored1 := filepath.Join(dir, "restored1")
+	if err := Restore(backupDir, restored1, 1); err != nil {
+		t.Fatal(err)
+	}
+	db1, err := Open(restored1, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := db1.BeginReadOnly()
+	if _, err := r.Document("a.xml"); err != nil {
+		t.Fatal("a.xml missing from era-1 restore")
+	}
+	if _, err := r.Document("b.xml"); err != nil {
+		t.Fatal("b.xml missing from era-1 restore")
+	}
+	if _, err := r.Document("c.xml"); err == nil {
+		t.Fatal("c.xml present in era-1 restore (point-in-time broken)")
+	}
+	r.Rollback()
+	db1.Close()
+
+	// Restore everything: all three present.
+	restored2 := filepath.Join(dir, "restored2")
+	if err := Restore(backupDir, restored2, -1); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(restored2, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	r2, _ := db2.BeginReadOnly()
+	defer r2.Rollback()
+	for _, name := range []string{"a.xml", "b.xml", "c.xml"} {
+		if _, err := r2.Document(name); err != nil {
+			t.Fatalf("%s missing from full restore", name)
+		}
+	}
+}
+
+func TestIncrementalWithoutBaseFails(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(filepath.Join(dir, "db"), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.BackupIncremental(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("incremental without base backup must fail")
+	}
+}
+
+func TestIncrementalIsSmallerThanFull(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(filepath.Join(dir, "db"), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tx, _ := db.Begin()
+	// A reasonably sized base document.
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 2000; i++ {
+		sb.WriteString("<item>content goes here</item>")
+	}
+	sb.WriteString("</r>")
+	tx.LoadXML("big.xml", strings.NewReader(sb.String()))
+	tx.Commit()
+
+	backupDir := filepath.Join(dir, "backup")
+	if err := db.Backup(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	sizeBefore := dirSize(t, backupDir)
+
+	// One small update, then incremental.
+	tx, _ = db.Begin()
+	tx.LoadXML("tiny.xml", strings.NewReader("<t/>"))
+	tx.Commit()
+	if err := db.BackupIncremental(backupDir); err != nil {
+		t.Fatal(err)
+	}
+	delta := dirSize(t, backupDir) - sizeBefore
+	if delta <= 0 || delta > sizeBefore/4 {
+		t.Fatalf("incremental delta %d vs base %d — expected a small fraction", delta, sizeBefore)
+	}
+}
+
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	entries, err := osReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+	}
+	return total
+}

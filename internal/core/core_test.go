@@ -1,0 +1,422 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sedna/internal/lock"
+	"sedna/internal/storage"
+)
+
+const libraryXML = `<library>
+  <book>
+    <title>Foundations of Databases</title>
+    <author>Abiteboul</author>
+    <author>Hull</author>
+    <author>Vianu</author>
+  </book>
+  <book>
+    <title>An Introduction to Database Systems</title>
+    <author>Date</author>
+    <issue>
+      <publisher>Addison-Wesley</publisher>
+      <year>2004</year>
+    </issue>
+  </book>
+  <paper>
+    <title>A Relational Model for Large Shared Data Banks</title>
+    <author>Codd</author>
+  </paper>
+</library>`
+
+func openTestDB(t *testing.T) *Database {
+	t.Helper()
+	db, err := Open(t.TempDir(), Options{NoSync: true, BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func loadLibrary(t *testing.T, db *Database) *storage.Doc {
+	t.Helper()
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := tx.LoadXML("library.xml", strings.NewReader(libraryXML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func serialize(t *testing.T, db *Database, docName string) string {
+	t.Helper()
+	tx, err := db.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	doc, err := tx.Document(docName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := storage.DescOf(tx.Tx, doc.RootHandle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SerializeNode(tx.Tx, doc, root, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestLoadAndSerializeRoundTrip(t *testing.T) {
+	db := openTestDB(t)
+	doc := loadLibrary(t, db)
+
+	tx, _ := db.BeginReadOnly()
+	if err := storage.VerifyDoc(tx.Tx, doc); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+
+	out := serialize(t, db, "library.xml")
+	for _, want := range []string{
+		"<library>", "<title>Foundations of Databases</title>",
+		"<author>Abiteboul</author>", "<author>Hull</author>",
+		"<publisher>Addison-Wesley</publisher>", "<year>2004</year>",
+		"<paper>", "</library>",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("serialization missing %q:\n%s", want, out)
+		}
+	}
+	// Document order must be preserved: Abiteboul before Hull before Vianu.
+	if !(strings.Index(out, "Abiteboul") < strings.Index(out, "Hull") &&
+		strings.Index(out, "Hull") < strings.Index(out, "Vianu")) {
+		t.Fatal("author order lost")
+	}
+}
+
+func TestAttributesLoadAndSerialize(t *testing.T) {
+	db := openTestDB(t)
+	tx, _ := db.Begin()
+	_, err := tx.LoadXML("attrs.xml", strings.NewReader(`<r><e id="7" name="x">body</e></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	out := serialize(t, db, "attrs.xml")
+	if !strings.Contains(out, `<e id="7" name="x">body</e>`) {
+		t.Fatalf("attributes lost: %s", out)
+	}
+}
+
+func TestCommentAndPI(t *testing.T) {
+	db := openTestDB(t)
+	tx, _ := db.Begin()
+	_, err := tx.LoadXML("c.xml", strings.NewReader(`<r><!--note--><?php echo?></r>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	out := serialize(t, db, "c.xml")
+	if !strings.Contains(out, "<!--note-->") || !strings.Contains(out, "<?php echo?>") {
+		t.Fatalf("comment/PI lost: %s", out)
+	}
+}
+
+func TestMalformedXMLRejected(t *testing.T) {
+	db := openTestDB(t)
+	tx, _ := db.Begin()
+	_, err := tx.LoadXML("bad.xml", strings.NewReader(`<a><b></a>`))
+	if err == nil {
+		t.Fatal("malformed XML must be rejected")
+	}
+	tx.Rollback()
+	// The failed document must not exist.
+	tx2, _ := db.BeginReadOnly()
+	defer tx2.Rollback()
+	if _, err := tx2.Document("bad.xml"); err == nil {
+		t.Fatal("document from failed load must not exist")
+	}
+}
+
+func TestDuplicateDocumentRejected(t *testing.T) {
+	db := openTestDB(t)
+	loadLibrary(t, db)
+	tx, _ := db.Begin()
+	defer tx.Rollback()
+	if _, err := tx.CreateDocument("library.xml"); err == nil {
+		t.Fatal("duplicate document must be rejected")
+	}
+}
+
+func TestDropDocument(t *testing.T) {
+	db := openTestDB(t)
+	loadLibrary(t, db)
+	tx, _ := db.Begin()
+	if err := tx.DropDocument("library.xml"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	tx2, _ := db.BeginReadOnly()
+	defer tx2.Rollback()
+	if _, err := tx2.Document("library.xml"); err == nil {
+		t.Fatal("dropped document still visible")
+	}
+}
+
+func TestDropDocumentRollbackRestores(t *testing.T) {
+	db := openTestDB(t)
+	loadLibrary(t, db)
+	tx, _ := db.Begin()
+	if err := tx.DropDocument("library.xml"); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	out := serialize(t, db, "library.xml")
+	if !strings.Contains(out, "Abiteboul") {
+		t.Fatal("document content lost after rollback of drop")
+	}
+}
+
+func TestPersistenceAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	if _, err := tx.LoadXML("library.xml", strings.NewReader(libraryXML)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx2, _ := db2.BeginReadOnly()
+	doc, err := tx2.Document("library.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyDoc(tx2.Tx, doc); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	root, _ := storage.DescOf(tx2.Tx, doc.RootHandle)
+	if err := SerializeNode(tx2.Tx, doc, root, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Abiteboul") {
+		t.Fatal("content lost across reopen")
+	}
+	tx2.Rollback()
+}
+
+// crashReopen simulates a crash: the database files are reopened WITHOUT
+// closing (Close would checkpoint). The old Database object is abandoned.
+func crashReopen(t *testing.T, db *Database) *Database {
+	t.Helper()
+	// Flush the WAL the way a crash leaves it: whatever Commit forced is
+	// durable; nothing else matters.
+	db.closeFilesForCrash()
+	db2, err := Open(db.dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db2.Close() })
+	return db2
+}
+
+func TestRecoveryAfterCrashCommitted(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	if _, err := tx.LoadXML("library.xml", strings.NewReader(libraryXML)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := crashReopen(t, db)
+	tx2, _ := db2.BeginReadOnly()
+	defer tx2.Rollback()
+	doc, err := tx2.Document("library.xml")
+	if err != nil {
+		t.Fatalf("committed document lost in crash: %v", err)
+	}
+	if err := storage.VerifyDoc(tx2.Tx, doc); err != nil {
+		t.Fatalf("recovered document fails verification: %v", err)
+	}
+	var buf bytes.Buffer
+	root, _ := storage.DescOf(tx2.Tx, doc.RootHandle)
+	SerializeNode(tx2.Tx, doc, root, &buf)
+	if !strings.Contains(buf.String(), "Addison-Wesley") {
+		t.Fatal("recovered content incomplete")
+	}
+}
+
+func TestRecoveryDiscardsUncommitted(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Committed baseline.
+	tx, _ := db.Begin()
+	if _, err := tx.LoadXML("a.xml", strings.NewReader(`<a>one</a>`)); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	// Uncommitted update crashes.
+	tx2, _ := db.Begin()
+	if _, err := tx2.LoadXML("b.xml", strings.NewReader(`<b>two</b>`)); err != nil {
+		t.Fatal(err)
+	}
+	// no commit — crash
+
+	db2 := crashReopen(t, db)
+	r, _ := db2.BeginReadOnly()
+	defer r.Rollback()
+	if _, err := r.Document("a.xml"); err != nil {
+		t.Fatal("committed doc lost")
+	}
+	if _, err := r.Document("b.xml"); err == nil {
+		t.Fatal("uncommitted doc survived the crash")
+	}
+	docA, _ := r.Document("a.xml")
+	if err := storage.VerifyDoc(r.Tx, docA); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryAfterCheckpointAndMoreCommits(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := db.Begin()
+	tx.LoadXML("a.xml", strings.NewReader(`<a><x>1</x></a>`))
+	tx.Commit()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint committed change: overwrites pages covered by the
+	// persistent snapshot, exercising the snapshot area.
+	tx2, _ := db.Begin()
+	doc, _ := tx2.Document("a.xml")
+	if err := tx2.LockDocument("a.xml", lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	root, _ := storage.DescOf(tx2.Tx, doc.RootHandle)
+	kids, err := collectChildren(tx2.Tx, &root)
+	if err != nil || len(kids) != 1 {
+		t.Fatalf("children: %v %d", err, len(kids))
+	}
+	if _, err := storage.InsertNode(tx2.Tx, doc, kids[0].Handle, sasNil(), sasNil(), kindElement(), "y", nil); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	// Force committed pages to disk so the snapshot area must be used.
+	if err := db.Buffer().FlushCommitted(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := crashReopen(t, db)
+	r, _ := db2.BeginReadOnly()
+	defer r.Rollback()
+	docA, err := r.Document("a.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyDoc(r.Tx, docA); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	rd, _ := storage.DescOf(r.Tx, docA.RootHandle)
+	SerializeNode(r.Tx, docA, rd, &buf)
+	if !strings.Contains(buf.String(), "<y/>") {
+		t.Fatalf("post-checkpoint commit lost: %s", buf.String())
+	}
+}
+
+func TestSnapshotReadersSeeStableStateDuringUpdate(t *testing.T) {
+	db := openTestDB(t)
+	loadLibrary(t, db)
+
+	r, _ := db.BeginReadOnly()
+	defer r.Rollback()
+
+	// Concurrent update: delete the paper.
+	w, _ := db.Begin()
+	doc, _ := w.Document("library.xml")
+	if err := w.LockDocument("library.xml", lock.Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// Find the paper element via the schema.
+	paperSn := doc.Schema.Root.Child(kindElement(), "library").Child(kindElement(), "paper")
+	var paperHandle = sasNil()
+	storage.ScanSchema(w.Tx, paperSn, func(d storage.Desc) (bool, error) {
+		paperHandle = d.Handle
+		return false, nil
+	})
+	if err := storage.DeleteSubtree(w.Tx, doc, paperHandle); err != nil {
+		t.Fatal(err)
+	}
+	w.Commit()
+
+	// The old snapshot still sees the paper; a new one does not.
+	var buf bytes.Buffer
+	rd, _ := storage.DescOf(r.Tx, doc.RootHandle)
+	if err := SerializeNode(r.Tx, doc, rd, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Codd") {
+		t.Fatal("old snapshot lost the paper")
+	}
+	out := serialize(t, db, "library.xml")
+	if strings.Contains(out, "Codd") {
+		t.Fatal("new snapshot still has the deleted paper")
+	}
+}
+
+func TestKeepWhitespaceOption(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{NoSync: true, KeepWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tx, _ := db.Begin()
+	if _, err := tx.LoadXML("w.xml", strings.NewReader("<r>  <e/>  </r>")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+	tx2, _ := db.BeginReadOnly()
+	defer tx2.Rollback()
+	doc, _ := tx2.Document("w.xml")
+	rEl := doc.Schema.Root.Child(kindElement(), "r")
+	textSn := rEl.Child(kindText(), "")
+	if textSn == nil || textSn.NodeCount != 2 {
+		t.Fatalf("whitespace text nodes not kept: %+v", textSn)
+	}
+}

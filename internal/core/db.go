@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"sedna/internal/buffer"
+	"sedna/internal/lock"
+	"sedna/internal/pagefile"
+	"sedna/internal/sas"
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+	"sedna/internal/txn"
+	"sedna/internal/wal"
+)
+
+// Options configures Open.
+type Options struct {
+	// BufferPages is the buffer-pool capacity in pages (default 2048 =
+	// 32 MiB with 16 KiB pages).
+	BufferPages int
+	// NoSync disables fsync throughout; tests and benchmarks only.
+	NoSync bool
+	// LockTimeout bounds document-lock waits (0 = wait forever; deadlocks
+	// are still detected eagerly).
+	LockTimeout time.Duration
+	// KeepWhitespace retains whitespace-only text nodes during LoadXML.
+	KeepWhitespace bool
+}
+
+// Database is an open Sedna database: one directory holding the data file,
+// the snapshot area, the write-ahead log and catalog snapshots.
+type Database struct {
+	dir  string
+	opts Options
+
+	pf    *pagefile.File
+	snap  *pagefile.SnapArea
+	log   *wal.Log
+	buf   *buffer.Manager
+	locks *lock.Manager
+	txm   *txn.Manager
+
+	catalog *Catalog
+
+	// docVers publishes committed document-metadata versions for snapshot
+	// readers.
+	docVers *docVersionStore
+
+	// quiesce is held shared by every statement-executing transaction and
+	// exclusively by checkpoint/backup/close.
+	quiesce sync.RWMutex
+
+	// pubMu serializes commit+publish against snapshot acquisition, so a
+	// new reader never sees a commit timestamp whose metadata versions are
+	// not yet published.
+	pubMu sync.Mutex
+
+	closed bool
+	mu     sync.Mutex
+}
+
+// ErrClosed reports use of a closed database.
+var ErrClosed = errors.New("core: database is closed")
+
+// Open opens (creating if needed) the database in dir and runs the two-step
+// recovery procedure, leaving the database checkpointed and consistent.
+func Open(dir string, opts Options) (*Database, error) {
+	if opts.BufferPages <= 0 {
+		opts.BufferPages = 2048
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: open: %w", err)
+	}
+	fileOpts := pagefile.Options{NoSync: opts.NoSync}
+	pf, err := pagefile.Open(filepath.Join(dir, "data.sdb"), fileOpts)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := pagefile.OpenSnapArea(filepath.Join(dir, "data.snap"), fileOpts)
+	if err != nil {
+		pf.Close()
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, "data.wal"), wal.Options{NoSync: opts.NoSync})
+	if err != nil {
+		snap.Close()
+		pf.Close()
+		return nil, err
+	}
+	db := &Database{
+		dir:     dir,
+		opts:    opts,
+		pf:      pf,
+		snap:    snap,
+		log:     log,
+		buf:     buffer.New(pf, snap, opts.BufferPages),
+		locks:   lock.New(),
+		docVers: newDocVersionStore(),
+	}
+	db.txm = txn.NewManager(db.buf, log, pf, db.locks)
+	db.txm.LockTimeout = opts.LockTimeout
+
+	if err := db.recover(); err != nil {
+		db.closeFiles()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *Database) closeFiles() {
+	db.log.Close()
+	db.snap.Close()
+	db.pf.Close()
+}
+
+// closeFilesForCrash abandons the database without checkpointing, leaving
+// files exactly as a crash would. Only tests and the crash-injection bench
+// harness use it.
+func (db *Database) closeFilesForCrash() {
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	db.closeFiles()
+}
+
+// CrashForTesting simulates a crash: the files are abandoned in place with
+// no checkpoint or clean-shutdown mark, so the next Open must run full
+// recovery. Exposed for the recovery experiments and crash-injection tests.
+func (db *Database) CrashForTesting() {
+	db.closeFilesForCrash()
+}
+
+// Dir returns the database directory.
+func (db *Database) Dir() string { return db.dir }
+
+// Catalog exposes the catalog.
+func (db *Database) Catalog() *Catalog { return db.catalog }
+
+// TxnManager exposes the transaction manager.
+func (db *Database) TxnManager() *txn.Manager { return db.txm }
+
+// BufferStats returns buffer-manager counters.
+func (db *Database) BufferStats() buffer.Stats { return db.buf.Stats() }
+
+// Buffer exposes the buffer manager (benchmarks and tools).
+func (db *Database) Buffer() *buffer.Manager { return db.buf }
+
+// LogSize returns the current WAL size in bytes.
+func (db *Database) LogSize() uint64 { return db.log.Size() }
+
+// Checkpoint fixates the current committed state as the persistent
+// snapshot: it quiesces update activity, writes the catalog snapshot
+// (generation master.MetaGen+1), flushes all committed pages, publishes the
+// new master page and resets the snapshot area (§6.4).
+func (db *Database) Checkpoint() error {
+	db.quiesce.Lock()
+	defer db.quiesce.Unlock()
+	return db.checkpointLocked()
+}
+
+func (db *Database) checkpointLocked() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return ErrClosed
+	}
+	db.mu.Unlock()
+	gen := db.pf.Master().MetaGen + 1
+	if err := saveMeta(db.dir, gen, db.catalog, db.pf.FreeList()); err != nil {
+		return err
+	}
+	if _, err := db.txm.Checkpoint(db.snap, gen); err != nil {
+		return err
+	}
+	removeOldMeta(db.dir, gen)
+	return nil
+}
+
+// Close checkpoints and closes the database.
+func (db *Database) Close() error {
+	db.quiesce.Lock()
+	defer db.quiesce.Unlock()
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.mu.Unlock()
+	if err := db.checkpointLocked(); err != nil {
+		db.closeFiles()
+		return err
+	}
+	m := db.pf.Master()
+	m.CleanShutdown = true
+	if err := db.pf.WriteMaster(m); err != nil {
+		db.closeFiles()
+		return err
+	}
+	db.mu.Lock()
+	db.closed = true
+	db.mu.Unlock()
+	if err := db.log.Close(); err != nil {
+		return err
+	}
+	if err := db.snap.Close(); err != nil {
+		return err
+	}
+	return db.pf.Close()
+}
+
+// Tx is an engine-level transaction: it wraps a storage transaction and
+// holds the shared quiesce latch for its lifetime.
+type Tx struct {
+	*txn.Tx
+	db   *Database
+	done bool
+
+	pendingDrops []string // documents dropped by this transaction
+}
+
+// Begin starts an update transaction.
+func (db *Database) Begin() (*Tx, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.mu.Unlock()
+	db.quiesce.RLock()
+	return &Tx{Tx: db.txm.Begin(), db: db}, nil
+}
+
+// BeginReadOnly starts a non-blocking snapshot transaction (§6.3).
+func (db *Database) BeginReadOnly() (*Tx, error) {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	db.mu.Unlock()
+	db.quiesce.RLock()
+	db.pubMu.Lock()
+	inner := db.txm.BeginReadOnly()
+	db.pubMu.Unlock()
+	return &Tx{Tx: inner, db: db}, nil
+}
+
+// Commit commits and releases the quiesce latch. Committed metadata
+// versions of every modified document are published for snapshot readers.
+func (t *Tx) Commit() error {
+	if t.done {
+		return txn.ErrDone
+	}
+	t.done = true
+	touched := t.Tx.TouchedDocs()
+	var err error
+	if t.ReadOnly() {
+		err = t.Tx.Commit()
+	} else {
+		t.db.pubMu.Lock()
+		err = t.Tx.Commit()
+		if err == nil {
+			cts := t.Tx.CommitTS()
+			minSnap := t.db.txm.MinActiveSnapshot()
+			for _, doc := range touched {
+				t.db.docVers.publish(doc.Name, cts, cloneDoc(doc), minSnap)
+			}
+			for _, name := range t.pendingDrops {
+				t.db.docVers.publish(name, cts, nil, minSnap)
+			}
+		}
+		t.db.pubMu.Unlock()
+	}
+	t.db.quiesce.RUnlock()
+	return err
+}
+
+// Rollback aborts and releases the quiesce latch.
+func (t *Tx) Rollback() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
+	err := t.Tx.Rollback()
+	t.db.quiesce.RUnlock()
+	return err
+}
+
+// DB returns the owning database.
+func (t *Tx) DB() *Database { return t.db }
+
+// LockDocument takes a document-granularity lock (§6.2). Read-only
+// transactions skip locking entirely.
+func (t *Tx) LockDocument(name string, mode lock.Mode) error {
+	return t.Lock("doc:"+name, mode)
+}
+
+// CreateDocument creates an empty document under the transaction.
+func (t *Tx) CreateDocument(name string) (*storage.Doc, error) {
+	if t.ReadOnly() {
+		return nil, txn.ErrReadOnly
+	}
+	if _, exists := t.db.catalog.Doc(name); exists {
+		return nil, fmt.Errorf("core: document %q already exists", name)
+	}
+	if err := t.LockDocument(name, lock.Exclusive); err != nil {
+		return nil, err
+	}
+	id := t.db.catalog.AllocDocID()
+	if err := t.LogRecord(&wal.Record{Type: wal.RecCreateDoc, DocID: id, Name: name}); err != nil {
+		return nil, err
+	}
+	doc, err := storage.CreateDoc(t.Tx, id, name)
+	if err != nil {
+		return nil, err
+	}
+	t.db.catalog.Put(doc)
+	t.Defer(func() { t.db.catalog.Delete(name) })
+	return doc, nil
+}
+
+// DropDocument removes a document and all its storage.
+func (t *Tx) DropDocument(name string) error {
+	if t.ReadOnly() {
+		return txn.ErrReadOnly
+	}
+	doc, ok := t.db.catalog.Doc(name)
+	if !ok {
+		return fmt.Errorf("core: document %q does not exist", name)
+	}
+	if err := t.LockDocument(name, lock.Exclusive); err != nil {
+		return err
+	}
+	if err := t.LogRecord(&wal.Record{Type: wal.RecDropDoc, DocID: doc.ID, Name: name}); err != nil {
+		return err
+	}
+	// Free every page of the document: node blocks per schema node, text
+	// blocks, indirection blocks.
+	var chains []sas.XPtr
+	doc.Schema.Root.Walk(func(sn *schema.Node) {
+		chains = append(chains, sn.FirstBlock)
+	})
+	chains = append(chains, doc.TextFirst, doc.IndirFirst)
+	for _, chain := range chains {
+		for b := chain; !b.IsNil(); {
+			next, err := storage.ChainNext(t.Tx, b)
+			if err != nil {
+				return err
+			}
+			if err := t.FreePage(sas.PageIDOf(b)); err != nil {
+				return err
+			}
+			b = next
+		}
+	}
+	t.db.catalog.Delete(name)
+	t.Defer(func() { t.db.catalog.Put(doc) })
+	t.pendingDrops = append(t.pendingDrops, name)
+	return nil
+}
+
+// Document resolves a document by name. Update transactions use the live
+// catalog (they hold document locks); read-only transactions use the
+// committed metadata version matching their snapshot, so concurrent
+// uncommitted schema changes stay invisible (§6.1, §6.3).
+func (t *Tx) Document(name string) (*storage.Doc, error) {
+	if t.ReadOnly() {
+		doc, ok := t.db.docVers.at(name, t.SnapshotTS())
+		if !ok {
+			return nil, fmt.Errorf("core: document %q does not exist", name)
+		}
+		return doc, nil
+	}
+	doc, ok := t.db.catalog.Doc(name)
+	if !ok {
+		return nil, fmt.Errorf("core: document %q does not exist", name)
+	}
+	return doc, nil
+}

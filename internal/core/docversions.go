@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+)
+
+// docVersionStore keeps, per document name, immutable copies of the
+// document's metadata (descriptive schema, block-list heads, chain heads) as
+// of each commit that changed it. Snapshot transactions resolve documents
+// against the version matching their snapshot timestamp, so a reader never
+// observes uncommitted (or too-new) schema changes even though updaters
+// mutate the live schema in place under the document's exclusive lock.
+//
+// In the original system this falls out of storing metadata in versioned
+// pages (§6.1); with the metadata held in Go memory, publishing committed
+// copies reproduces the same behaviour. Versions older than the oldest
+// active snapshot are purged on publish.
+type docVersionStore struct {
+	mu     sync.RWMutex
+	byName map[string][]docVersion
+}
+
+type docVersion struct {
+	ts  uint64
+	doc *storage.Doc // nil = document dropped at ts
+}
+
+func newDocVersionStore() *docVersionStore {
+	return &docVersionStore{byName: make(map[string][]docVersion)}
+}
+
+// publish records a committed metadata version (doc nil = drop tombstone)
+// and purges versions no active snapshot can read. minSnap is the oldest
+// active snapshot timestamp.
+func (s *docVersionStore) publish(name string, ts uint64, doc *storage.Doc, minSnap uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	versions := append(s.byName[name], docVersion{ts: ts, doc: doc})
+	sort.SliceStable(versions, func(i, j int) bool { return versions[i].ts < versions[j].ts })
+	// Keep the newest version with ts <= minSnap and everything newer.
+	cut := 0
+	for i := range versions {
+		if versions[i].ts <= minSnap {
+			cut = i
+		}
+	}
+	s.byName[name] = versions[cut:]
+}
+
+// at returns the document metadata visible to a snapshot at ts.
+func (s *docVersionStore) at(name string, ts uint64) (*storage.Doc, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	versions := s.byName[name]
+	var best *storage.Doc
+	found := false
+	for i := range versions {
+		if versions[i].ts <= ts {
+			best = versions[i].doc
+			found = true
+		}
+	}
+	if !found || best == nil {
+		return nil, false
+	}
+	return best, true
+}
+
+// cloneDoc makes an immutable metadata copy: the schema tree is rebuilt
+// from its flattened form, detaching it from the live (mutable) schema.
+func cloneDoc(doc *storage.Doc) *storage.Doc {
+	s, err := schema.Rebuild(doc.Schema.Flatten())
+	if err != nil {
+		// Flatten/Rebuild round-trips by construction; failure means heap
+		// corruption, so fail loudly.
+		panic("core: schema clone failed: " + err.Error())
+	}
+	return &storage.Doc{
+		ID: doc.ID, Name: doc.Name, Schema: s,
+		RootHandle: doc.RootHandle,
+		IndirFirst: doc.IndirFirst, IndirLast: doc.IndirLast,
+		TextFirst: doc.TextFirst, TextLast: doc.TextLast,
+	}
+}

@@ -1,0 +1,15 @@
+package core
+
+import (
+	"io/fs"
+	"os"
+
+	"sedna/internal/sas"
+	"sedna/internal/schema"
+)
+
+func sasNil() sas.XPtr             { return sas.NilPtr }
+func kindElement() schema.NodeKind { return schema.KindElement }
+func kindText() schema.NodeKind    { return schema.KindText }
+
+func osReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }

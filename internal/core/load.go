@@ -1,0 +1,238 @@
+package core
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"sedna/internal/sas"
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+)
+
+// LoadXML parses the XML document from r and bulk-loads it under the given
+// document name within the transaction. Whitespace-only text nodes are
+// skipped unless the database was opened with KeepWhitespace.
+func (t *Tx) LoadXML(name string, r io.Reader) (*storage.Doc, error) {
+	doc, err := t.CreateDocument(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.LoadInto(doc, doc.RootHandle, r); err != nil {
+		return nil, err
+	}
+	return doc, nil
+}
+
+// LoadInto streams XML content under an existing node (used both by LoadXML
+// and by update statements inserting parsed fragments).
+func (t *Tx) LoadInto(doc *storage.Doc, parent sas.XPtr, r io.Reader) error {
+	dec := xml.NewDecoder(r)
+	dec.Strict = true
+
+	type frame struct {
+		handle sas.XPtr
+		last   sas.XPtr // last child inserted under this frame
+	}
+	stack := []frame{{handle: parent}}
+	last := func() *frame { return &stack[len(stack)-1] }
+
+	insert := func(kind schema.NodeKind, name string, text []byte) (sas.XPtr, error) {
+		f := last()
+		h, err := storage.InsertNode(t.Tx, doc, f.handle, f.last, sas.NilPtr, kind, name, text)
+		if err != nil {
+			return sas.NilPtr, err
+		}
+		f.last = h
+		return h, nil
+	}
+
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("core: parse XML: %w", err)
+		}
+		switch tk := tok.(type) {
+		case xml.StartElement:
+			h, err := insert(schema.KindElement, xmlName(tk.Name), nil)
+			if err != nil {
+				return err
+			}
+			stack = append(stack, frame{handle: h})
+			// Attributes become attribute children of the element.
+			for _, a := range tk.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue // namespace declarations are not stored as attributes
+				}
+				if _, err := insert(schema.KindAttribute, xmlName(a.Name), []byte(a.Value)); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			if len(stack) == 1 {
+				return fmt.Errorf("core: unbalanced end element %s", xmlName(tk.Name))
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			s := string(tk)
+			if !t.db.opts.KeepWhitespace && strings.TrimSpace(s) == "" {
+				continue
+			}
+			if len(stack) == 1 {
+				continue // ignore top-level whitespace/prolog text
+			}
+			if _, err := insert(schema.KindText, "", []byte(s)); err != nil {
+				return err
+			}
+		case xml.Comment:
+			if len(stack) == 1 {
+				continue
+			}
+			if _, err := insert(schema.KindComment, "", []byte(tk)); err != nil {
+				return err
+			}
+		case xml.ProcInst:
+			if len(stack) == 1 {
+				continue
+			}
+			if _, err := insert(schema.KindPI, tk.Target, tk.Inst); err != nil {
+				return err
+			}
+		case xml.Directive:
+			// DOCTYPE etc. — not stored.
+		}
+	}
+	if len(stack) != 1 {
+		return fmt.Errorf("core: unbalanced XML: %d unclosed elements", len(stack)-1)
+	}
+	return nil
+}
+
+func xmlName(n xml.Name) string {
+	// The descriptive schema clusters by qualified name; we keep the
+	// expanded form "space:local" when a namespace is present.
+	if n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
+}
+
+// SerializeNode writes the XML serialization of the subtree rooted at the
+// node (given by descriptor) to w. Reader may be any transaction kind.
+func SerializeNode(r storage.Reader, doc *storage.Doc, d storage.Desc, w io.Writer) error {
+	sn := doc.Schema.ByID(d.SchemaID)
+	if sn == nil {
+		return fmt.Errorf("core: serialize: unknown schema node %d", d.SchemaID)
+	}
+	switch sn.Kind {
+	case schema.KindDocument:
+		return serializeChildren(r, doc, d, w)
+	case schema.KindElement:
+		if _, err := io.WriteString(w, "<"+sn.Name); err != nil {
+			return err
+		}
+		// Attributes first, then content.
+		content, err := collectChildren(r, &d)
+		if err != nil {
+			return err
+		}
+		hasContent := false
+		for _, c := range content {
+			csn := doc.Schema.ByID(c.SchemaID)
+			if csn.Kind == schema.KindAttribute {
+				val, err := storage.Text(r, &c)
+				if err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, " %s=%q", csn.Name, string(val)); err != nil {
+					return err
+				}
+			} else {
+				hasContent = true
+			}
+		}
+		if !hasContent {
+			_, err := io.WriteString(w, "/>")
+			return err
+		}
+		if _, err := io.WriteString(w, ">"); err != nil {
+			return err
+		}
+		for _, c := range content {
+			if doc.Schema.ByID(c.SchemaID).Kind == schema.KindAttribute {
+				continue
+			}
+			if err := SerializeNode(r, doc, c, w); err != nil {
+				return err
+			}
+		}
+		_, err = io.WriteString(w, "</"+sn.Name+">")
+		return err
+	case schema.KindText:
+		val, err := storage.Text(r, &d)
+		if err != nil {
+			return err
+		}
+		return xml.EscapeText(w, val)
+	case schema.KindAttribute:
+		// A bare attribute serializes as its string value.
+		val, err := storage.Text(r, &d)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(val)
+		return err
+	case schema.KindComment:
+		val, err := storage.Text(r, &d)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "<!--%s-->", val)
+		return err
+	case schema.KindPI:
+		val, err := storage.Text(r, &d)
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintf(w, "<?%s %s?>", sn.Name, val)
+		return err
+	default:
+		return fmt.Errorf("core: serialize: unsupported kind %v", sn.Kind)
+	}
+}
+
+func serializeChildren(r storage.Reader, doc *storage.Doc, d storage.Desc, w io.Writer) error {
+	kids, err := collectChildren(r, &d)
+	if err != nil {
+		return err
+	}
+	for _, c := range kids {
+		if err := SerializeNode(r, doc, c, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collectChildren returns the children of d in document order.
+func collectChildren(r storage.Reader, d *storage.Desc) ([]storage.Desc, error) {
+	var out []storage.Desc
+	c, ok, err := storage.FirstChild(r, d)
+	for {
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, c)
+		if c.RightSib.IsNil() {
+			return out, nil
+		}
+		c, err = storage.ReadDesc(r, c.RightSib)
+	}
+}

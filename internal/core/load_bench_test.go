@@ -1,0 +1,24 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"sedna/internal/xmlgen"
+)
+
+func BenchmarkLoadLibrary(b *testing.B) {
+	doc := xmlgen.LibraryString(1000, 1)
+	for i := 0; i < b.N; i++ {
+		db, err := Open(b.TempDir(), Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		tx, _ := db.Begin()
+		if _, err := tx.LoadXML("lib", strings.NewReader(doc)); err != nil {
+			b.Fatal(err)
+		}
+		tx.Commit()
+		db.Close()
+	}
+}

@@ -1,0 +1,305 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"sedna/internal/core"
+	"sedna/internal/query"
+	"sedna/internal/storage"
+	"sedna/internal/xmlgen"
+)
+
+// TestOutOfCoreDocument loads a document far larger than the buffer pool,
+// forcing evictions (with WAL-rule flushes and snapshot-area saves), then
+// verifies integrity and query results — the buffer-manager path of Fig. 4
+// under memory pressure.
+func TestOutOfCoreDocument(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large corpus")
+	}
+	db, err := core.Open(t.TempDir(), core.Options{NoSync: true, BufferPages: 32}) // 512 KiB pool
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const entries = 2000 // ≈ 4 MiB of pages
+	tx, _ := db.Begin()
+	if _, err := tx.LoadXML("big", strings.NewReader(xmlgen.LibraryString(entries, 9))); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if st := db.BufferStats(); st.Evictions == 0 {
+		t.Fatal("expected evictions with a 32-page pool")
+	}
+
+	rtx, _ := db.BeginReadOnly()
+	defer rtx.Rollback()
+	doc, err := rtx.Document("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := storage.VerifyDoc(rtx.Tx, doc); err != nil {
+		t.Fatalf("integrity under eviction: %v", err)
+	}
+	res, err := query.Execute(query.NewExecCtx(rtx), `count(doc("big")/library/book)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.String()
+	if got != "1600" { // 4/5 of entries are books
+		t.Fatalf("book count = %s, want 1600", got)
+	}
+}
+
+// TestOutOfCoreSnapshotReadersDuringUpdates combines memory pressure with
+// snapshot isolation: while an updater commits batches, snapshot readers
+// with an eviction-heavy pool must still see consistent states.
+func TestOutOfCoreSnapshotReadersDuringUpdates(t *testing.T) {
+	db, err := core.Open(t.TempDir(), core.Options{NoSync: true, BufferPages: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tx, _ := db.Begin()
+	if _, err := tx.LoadXML("d", strings.NewReader(xmlgen.LibraryString(400, 3))); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	baseline := docCount(t, db, `count(doc("d")//book)`)
+	var readers, updater sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+
+	// Updater: keeps inserting books in batches until told to stop.
+	updater.Add(1)
+	go func() {
+		defer updater.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tx, err := db.Begin()
+			if err != nil {
+				errs <- err
+				return
+			}
+			stmt := fmt.Sprintf(`UPDATE insert <book><title>new %d</title></book> into doc("d")/library`, i)
+			if _, err := query.Execute(query.NewExecCtx(tx), stmt); err != nil {
+				errs <- err
+				return
+			}
+			if err := tx.Commit(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Readers: every snapshot must be consistent and contain at least the
+	// baseline books.
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 30; i++ {
+				rtx, err := db.BeginReadOnly()
+				if err != nil {
+					errs <- err
+					return
+				}
+				res, err := query.Execute(query.NewExecCtx(rtx), `count(doc("d")//book)`)
+				if err != nil {
+					errs <- fmt.Errorf("reader: %w", err)
+					rtx.Rollback()
+					return
+				}
+				sVal, _ := res.String()
+				rtx.Rollback()
+				var n int
+				fmt.Sscanf(sVal, "%d", &n)
+				if n < baseline {
+					errs <- fmt.Errorf("reader saw %d books, baseline %d", n, baseline)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	updater.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	// Final integrity check.
+	rtx, _ := db.BeginReadOnly()
+	defer rtx.Rollback()
+	doc, _ := rtx.Document("d")
+	if err := storage.VerifyDoc(rtx.Tx, doc); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func docCount(t *testing.T, db *core.Database, q string) int {
+	t.Helper()
+	rtx, err := db.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rtx.Rollback()
+	res, err := query.Execute(query.NewExecCtx(rtx), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.String()
+	var n int
+	fmt.Sscanf(s, "%d", &n)
+	return n
+}
+
+// TestDropDocumentUnderSnapshotReader verifies that a snapshot reader keeps
+// a consistent view of a document that a concurrent transaction drops and
+// whose pages may be recycled: the version store preserves page content and
+// the metadata version store preserves the catalog entry.
+func TestDropDocumentUnderSnapshotReader(t *testing.T) {
+	db, err := core.Open(t.TempDir(), core.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	tx, _ := db.Begin()
+	if _, err := tx.LoadXML("victim", strings.NewReader(xmlgen.LibraryString(50, 4))); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	reader, _ := db.BeginReadOnly()
+	defer reader.Rollback()
+
+	// Drop the document and immediately reuse the space with a new one.
+	tx2, _ := db.Begin()
+	if err := tx2.DropDocument("victim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tx3, _ := db.Begin()
+	if _, err := tx3.LoadXML("replacement", strings.NewReader(xmlgen.LibraryString(80, 5))); err != nil {
+		t.Fatal(err)
+	}
+	tx3.Commit()
+
+	// The old snapshot still resolves and verifies the dropped document.
+	doc, err := reader.Document("victim")
+	if err != nil {
+		t.Fatalf("snapshot lost the dropped document: %v", err)
+	}
+	if err := storage.VerifyDoc(reader.Tx, doc); err != nil {
+		t.Fatalf("dropped document corrupt in snapshot: %v", err)
+	}
+	res, err := query.Execute(query.NewExecCtx(reader), `count(doc("victim")//book)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res.String(); got != "40" { // 4/5 of 50 entries
+		t.Fatalf("snapshot book count = %s, want 40", got)
+	}
+
+	// A new reader no longer sees it.
+	r2, _ := db.BeginReadOnly()
+	defer r2.Rollback()
+	if _, err := r2.Document("victim"); err == nil {
+		t.Fatal("dropped document visible to a new snapshot")
+	}
+}
+
+// TestConcurrentMultiDocumentWorkload hammers several documents from
+// concurrent writers and readers; document-granularity locks must allow
+// disjoint writers to proceed in parallel while keeping every document
+// internally consistent.
+func TestConcurrentMultiDocumentWorkload(t *testing.T) {
+	db, err := core.Open(t.TempDir(), core.Options{NoSync: true, BufferPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	const docs = 4
+	for d := 0; d < docs; d++ {
+		tx, _ := db.Begin()
+		if _, err := tx.LoadXML(fmt.Sprintf("doc%d", d), strings.NewReader("<r/>")); err != nil {
+			t.Fatal(err)
+		}
+		tx.Commit()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < docs*2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			docName := fmt.Sprintf("doc%d", w%docs)
+			for i := 0; i < 25; i++ {
+				if rng.Intn(3) == 0 {
+					rtx, err := db.BeginReadOnly()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if _, err := query.Execute(query.NewExecCtx(rtx),
+						fmt.Sprintf(`count(doc(%q)//x)`, docName)); err != nil {
+						errs <- err
+						rtx.Rollback()
+						return
+					}
+					rtx.Rollback()
+					continue
+				}
+				tx, err := db.Begin()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := query.Execute(query.NewExecCtx(tx),
+					fmt.Sprintf(`UPDATE insert <x w="%d" i="%d"/> into doc(%q)/r`, w, i, docName)); err != nil {
+					errs <- err
+					tx.Rollback()
+					return
+				}
+				if rng.Intn(5) == 0 {
+					tx.Rollback()
+				} else if err := tx.Commit(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	rtx, _ := db.BeginReadOnly()
+	defer rtx.Rollback()
+	for d := 0; d < docs; d++ {
+		doc, err := rtx.Document(fmt.Sprintf("doc%d", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := storage.VerifyDoc(rtx.Tx, doc); err != nil {
+			t.Fatalf("doc%d: %v", d, err)
+		}
+	}
+}

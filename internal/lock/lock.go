@@ -1,0 +1,270 @@
+// Package lock implements the strict two-phase-locking manager of §6.2:
+// shared/exclusive locks at XML-document granularity, lock upgrade, FIFO
+// queuing, and deadlock detection over the wait-for graph. Locks are held
+// until commit or rollback (strictness) by the transaction layer calling
+// ReleaseAll.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota + 1
+	Exclusive
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// ErrDeadlock reports that granting the request would close a cycle in the
+// wait-for graph; the caller should abort the transaction.
+var ErrDeadlock = errors.New("lock: deadlock detected")
+
+// ErrTimeout reports that the lock was not granted within the deadline.
+var ErrTimeout = errors.New("lock: timeout")
+
+type request struct {
+	txn   uint64
+	mode  Mode
+	ready chan struct{}
+}
+
+type entry struct {
+	holders map[uint64]Mode
+	queue   []*request
+}
+
+// Manager is the lock manager.
+type Manager struct {
+	mu      sync.Mutex
+	table   map[string]*entry
+	held    map[uint64]map[string]Mode // per-txn held locks, for ReleaseAll
+	waitFor map[uint64]map[uint64]bool // wait-for graph edges
+}
+
+// New creates a lock manager.
+func New() *Manager {
+	return &Manager{
+		table:   make(map[string]*entry),
+		held:    make(map[uint64]map[string]Mode),
+		waitFor: make(map[uint64]map[uint64]bool),
+	}
+}
+
+// Lock acquires res in the given mode for txn, blocking until granted, a
+// deadlock is detected, or the timeout expires (0 = no timeout). Re-locking
+// in the same or weaker mode is a no-op; Shared→Exclusive upgrades are
+// supported.
+func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration) error {
+	m.mu.Lock()
+	e := m.table[res]
+	if e == nil {
+		e = &entry{holders: make(map[uint64]Mode)}
+		m.table[res] = e
+	}
+	if cur, ok := e.holders[txn]; ok && cur >= mode {
+		m.mu.Unlock()
+		return nil
+	}
+	if m.grantable(e, txn, mode) {
+		m.grant(e, txn, res, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait: record wait-for edges and check for a cycle.
+	req := &request{txn: txn, mode: mode, ready: make(chan struct{})}
+	e.queue = append(e.queue, req)
+	m.addEdges(txn, e)
+	if m.cycleFrom(txn) {
+		m.removeRequest(e, req)
+		m.clearEdges(txn)
+		m.mu.Unlock()
+		return fmt.Errorf("%w: txn %d on %q", ErrDeadlock, txn, res)
+	}
+	m.mu.Unlock()
+
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case <-req.ready:
+		return nil
+	case <-timer:
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		select {
+		case <-req.ready:
+			// Granted in the race window.
+			return nil
+		default:
+		}
+		m.removeRequest(e, req)
+		m.clearEdges(txn)
+		return fmt.Errorf("%w: txn %d on %q", ErrTimeout, txn, res)
+	}
+}
+
+// grantable reports whether txn may take res in mode right now. FIFO
+// fairness: a request must also not overtake earlier incompatible waiters,
+// except for upgrades, which take priority.
+func (m *Manager) grantable(e *entry, txn uint64, mode Mode) bool {
+	_, upgrading := e.holders[txn]
+	for t, held := range e.holders {
+		if t == txn {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	if upgrading {
+		return true
+	}
+	for _, q := range e.queue {
+		if q.txn == txn {
+			break // only waiters queued earlier can block this request
+		}
+		if mode == Exclusive || q.mode == Exclusive {
+			return false // don't overtake earlier incompatible waiters
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(e *entry, txn uint64, res string, mode Mode) {
+	e.holders[txn] = mode
+	h := m.held[txn]
+	if h == nil {
+		h = make(map[string]Mode)
+		m.held[txn] = h
+	}
+	h[res] = mode
+	m.clearEdges(txn)
+}
+
+// addEdges adds wait-for edges from txn to every incompatible holder.
+func (m *Manager) addEdges(txn uint64, e *entry) {
+	edges := m.waitFor[txn]
+	if edges == nil {
+		edges = make(map[uint64]bool)
+		m.waitFor[txn] = edges
+	}
+	for t := range e.holders {
+		if t != txn {
+			edges[t] = true
+		}
+	}
+}
+
+func (m *Manager) clearEdges(txn uint64) {
+	delete(m.waitFor, txn)
+}
+
+// cycleFrom reports whether the wait-for graph has a cycle reachable from
+// txn.
+func (m *Manager) cycleFrom(txn uint64) bool {
+	seen := make(map[uint64]bool)
+	var dfs func(t uint64) bool
+	dfs = func(t uint64) bool {
+		if t == txn && len(seen) > 0 {
+			return true
+		}
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		for next := range m.waitFor[t] {
+			if dfs(next) {
+				return true
+			}
+		}
+		return false
+	}
+	for next := range m.waitFor[txn] {
+		seen[txn] = true
+		if dfs(next) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Manager) removeRequest(e *entry, req *request) {
+	for i, q := range e.queue {
+		if q == req {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ReleaseAll releases every lock txn holds and wakes up grantable waiters —
+// the shrink phase of strict 2PL, run at commit or rollback.
+func (m *Manager) ReleaseAll(txn uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for res := range m.held[txn] {
+		e := m.table[res]
+		if e == nil {
+			continue
+		}
+		delete(e.holders, txn)
+		m.wakeLocked(res, e)
+		if len(e.holders) == 0 && len(e.queue) == 0 {
+			delete(m.table, res)
+		}
+	}
+	delete(m.held, txn)
+	m.clearEdges(txn)
+}
+
+// wakeLocked grants queued requests that became compatible, in FIFO order
+// (upgrades first).
+func (m *Manager) wakeLocked(res string, e *entry) {
+	for {
+		granted := false
+		for _, q := range e.queue {
+			if m.grantable(e, q.txn, q.mode) {
+				m.removeRequest(e, q)
+				m.grant(e, q.txn, res, q.mode)
+				close(q.ready)
+				granted = true
+				break
+			}
+		}
+		if !granted {
+			return
+		}
+	}
+}
+
+// HeldModes returns a copy of the locks txn currently holds (for tests and
+// the governor's introspection).
+func (m *Manager) HeldModes(txn uint64) map[string]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]Mode, len(m.held[txn]))
+	for k, v := range m.held[txn] {
+		out[k] = v
+	}
+	return out
+}

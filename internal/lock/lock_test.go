@@ -1,0 +1,196 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSharedLocksCompatible(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "doc", Shared, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, "doc", Shared, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "doc", Exclusive, 0); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(2, "doc", Shared, 0) }()
+	select {
+	case <-done:
+		t.Fatal("shared lock granted while exclusive held")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+}
+
+func TestRelockSameModeNoop(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "doc", Exclusive, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, "doc", Exclusive, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, "doc", Shared, 0); err != nil {
+		t.Fatal(err) // weaker re-lock is a no-op
+	}
+	m.ReleaseAll(1)
+}
+
+func TestUpgradeSoleHolder(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, "doc", Shared, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, "doc", Exclusive, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeldModes(1)["doc"]; got != Exclusive {
+		t.Fatalf("mode = %v", got)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestUpgradeWaitsForOtherReader(t *testing.T) {
+	m := New()
+	m.Lock(1, "doc", Shared, 0)
+	m.Lock(2, "doc", Shared, 0)
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(1, "doc", Exclusive, 0) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while another reader holds the lock")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New()
+	m.Lock(1, "a", Exclusive, 0)
+	m.Lock(2, "b", Exclusive, 0)
+
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(1, "b", Exclusive, 0) }() // 1 waits for 2
+	time.Sleep(30 * time.Millisecond)
+	err := m.Lock(2, "a", Exclusive, 0) // closes the cycle
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	// Victim aborts; txn 1 proceeds.
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	// Two readers both upgrading is the classic upgrade deadlock.
+	m := New()
+	m.Lock(1, "doc", Shared, 0)
+	m.Lock(2, "doc", Shared, 0)
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(1, "doc", Exclusive, 0) }()
+	time.Sleep(30 * time.Millisecond)
+	err := m.Lock(2, "doc", Exclusive, 0)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("want ErrDeadlock, got %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-got; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestTimeout(t *testing.T) {
+	m := New()
+	m.Lock(1, "doc", Exclusive, 0)
+	err := m.Lock(2, "doc", Shared, 20*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	m.ReleaseAll(1)
+	// After timeout the queue must not retain the dead request.
+	if err := m.Lock(3, "doc", Exclusive, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestFIFONoWriterStarvation(t *testing.T) {
+	m := New()
+	m.Lock(1, "doc", Shared, 0)
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- m.Lock(2, "doc", Exclusive, 0) }()
+	time.Sleep(20 * time.Millisecond)
+	// A later reader must NOT overtake the queued writer.
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- m.Lock(3, "doc", Shared, 0) }()
+	select {
+	case <-readerDone:
+		t.Fatal("reader overtook queued writer")
+	case <-time.After(30 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(3)
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(txn uint64) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				mode := Shared
+				if j%5 == 0 {
+					mode = Exclusive
+				}
+				err := m.Lock(txn, "doc", mode, time.Second)
+				if err != nil {
+					if !errors.Is(err, ErrDeadlock) && !errors.Is(err, ErrTimeout) {
+						errs <- err
+					}
+					m.ReleaseAll(txn)
+					continue
+				}
+				m.ReleaseAll(txn)
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package nid implements the Sedna numbering scheme (§4.1.1): every XML node
+// carries a label (prefix, delimiter) such that
+//
+//   - node x is an ancestor of node y iff  prefix(x) < prefix(y) < prefix(x)+delim(x)
+//     in lexicographic string order ("+" is concatenation), and
+//   - x precedes y in document order iff prefix(x) < prefix(y).
+//
+// The scheme rests on the observation that between any two distinct strings
+// there is lexicographically a third, so inserting a node never requires
+// relabeling any other node — the property the paper contrasts with
+// interval schemes such as XISS (implemented in xiss.go as the baseline).
+//
+// Prefixes are strings over the byte alphabet [0x01, 0xFE]; 0xFF serves as
+// the delimiter for every node, and 0x00 never occurs. Two generation
+// strategies are provided: Bulk (an order-preserving ordinal encoding used
+// while streaming a document in, which keeps labels logarithmically short)
+// and Between (true lexicographic midpoints used by updates).
+package nid
+
+import (
+	"bytes"
+	"fmt"
+)
+
+const (
+	// MinDigit and MaxDigit bound the prefix alphabet.
+	MinDigit = 0x01
+	MaxDigit = 0xFE
+	// Delim is the delimiter character assigned to every node.
+	Delim = 0xFF
+)
+
+// Label is a numbering-scheme label.
+type Label struct {
+	Prefix []byte
+	Delim  byte
+}
+
+// Root returns the label of a document root.
+func Root() Label {
+	return Label{Prefix: []byte{0x80}, Delim: Delim}
+}
+
+// Compare orders two labels by document order: negative if a precedes b,
+// zero if they are the same node, positive if a follows b. Equal prefixes
+// identify the same node (the paper's "unique identity" property).
+func Compare(a, b Label) int {
+	return bytes.Compare(a.Prefix, b.Prefix)
+}
+
+// Same reports whether the two labels identify the same node.
+func Same(a, b Label) bool {
+	return bytes.Equal(a.Prefix, b.Prefix)
+}
+
+// IsAncestor reports whether a is a proper ancestor of b:
+// a.Prefix < b.Prefix < a.Prefix+a.Delim.
+func IsAncestor(a, b Label) bool {
+	if bytes.Compare(a.Prefix, b.Prefix) >= 0 {
+		return false
+	}
+	// b.Prefix < a.Prefix + [a.Delim] ?
+	return lessThanBound(b.Prefix, a.Prefix, a.Delim)
+}
+
+// lessThanBound reports s < base+[d] lexicographically.
+func lessThanBound(s, base []byte, d byte) bool {
+	n := len(base)
+	if len(s) <= n {
+		// s can only be < base+[d] if s <= base at its own length; since s
+		// is shorter than base+[d], compare against the base prefix.
+		return bytes.Compare(s, base) <= 0
+	}
+	if c := bytes.Compare(s[:n], base); c != 0 {
+		return c < 0
+	}
+	return s[n] < d
+}
+
+// suffix returns the child's suffix relative to the parent prefix. It
+// panics if child is not labeled under parent (a corruption guard).
+func suffix(parent Label, child Label) []byte {
+	if !bytes.HasPrefix(child.Prefix, parent.Prefix) {
+		panic(fmt.Sprintf("nid: label %x is not under parent %x", child.Prefix, parent.Prefix))
+	}
+	return child.Prefix[len(parent.Prefix):]
+}
+
+// Bulk returns the label for the child of parent with the given ordinal
+// (0-based) during bulk load. Labels are ordered by ordinal and stay
+// O(log n) bytes long: the ordinal is encoded with a length-led base-250
+// encoding whose lexicographic order coincides with numeric order.
+func Bulk(parent Label, ordinal uint64) Label {
+	suf := encodeOrdinal(ordinal)
+	p := make([]byte, 0, len(parent.Prefix)+len(suf))
+	p = append(p, parent.Prefix...)
+	p = append(p, suf...)
+	return Label{Prefix: p, Delim: Delim}
+}
+
+// encodeOrdinal encodes i as [lengthByte, digits...] with digits in
+// 0x04..0xFD (base 250) and lengthByte = 0x02+len(digits). Longer encodings
+// sort after shorter ones, so lexicographic order equals numeric order. The
+// first byte is below Delim and above MinDigit, and the last digit is never
+// MinDigit, preserving the package invariants.
+func encodeOrdinal(i uint64) []byte {
+	var digits [10]byte
+	n := 0
+	for {
+		digits[n] = byte(0x04 + i%250)
+		i /= 250
+		n++
+		if i == 0 {
+			break
+		}
+	}
+	out := make([]byte, n+1)
+	out[0] = byte(0x02 + n)
+	for k := 0; k < n; k++ {
+		out[k+1] = digits[n-1-k]
+	}
+	return out
+}
+
+// Between returns a label for a new child of parent placed strictly between
+// left and right in document order. left == nil means "first child", right
+// == nil means "last child". The neighbours, when given, must be existing
+// children of parent. No other label is affected — this is the paper's
+// relabel-free insertion.
+//
+// The lower bound is the END of left's descendant range (left+delim), not
+// left itself: a label inside (left, left+delim) would make the new sibling
+// a descendant of left under rule 1 of §4.1.1 and violate document-order
+// monotonicity for everything below it.
+func Between(parent Label, left, right *Label) Label {
+	var lo, hi []byte
+	if left != nil {
+		ls := suffix(parent, *left)
+		lo = make([]byte, 0, len(ls)+1)
+		lo = append(lo, ls...)
+		lo = append(lo, left.Delim)
+	}
+	if right != nil {
+		hi = suffix(parent, *right)
+	} else {
+		hi = []byte{parent.Delim}
+	}
+	var suf []byte
+	if right == nil && lo != nil {
+		// Appending after the last child — by far the most common insertion
+		// during document construction. A lexicographic successor of the
+		// range end keeps labels short (midpoints would grow by one byte
+		// every ~8 appends).
+		suf = successor(lo)
+	} else {
+		suf = mid(lo, hi)
+	}
+	p := make([]byte, 0, len(parent.Prefix)+len(suf))
+	p = append(p, parent.Prefix...)
+	p = append(p, suf...)
+	return Label{Prefix: p, Delim: Delim}
+}
+
+// successor returns a short byte string strictly greater than lo and
+// strictly below the parent bound [Delim]: the leftmost byte below MaxDigit
+// is bumped and the tail dropped; when every byte is saturated the string
+// is extended. Labels grow one byte per ~250 appends instead of per ~8.
+func successor(lo []byte) []byte {
+	for i := 0; i < len(lo); i++ {
+		if lo[i] < MaxDigit {
+			out := make([]byte, i+1)
+			copy(out, lo[:i])
+			out[i] = lo[i] + 1
+			return out
+		}
+	}
+	out := make([]byte, len(lo)+1)
+	copy(out, lo)
+	out[len(lo)] = 0x80
+	return out
+}
+
+// mid returns a byte string strictly between a and b in lexicographic
+// order. a may be empty (the minimum); b must be non-empty or nil meaning
+// +infinity. The result never ends in MinDigit so that a later insertion
+// before it is always possible.
+func mid(a, b []byte) []byte {
+	if b != nil {
+		if bytes.Compare(a, b) >= 0 {
+			panic(fmt.Sprintf("nid: mid bounds out of order: %x >= %x", a, b))
+		}
+		// Strip the common prefix.
+		n := 0
+		for n < len(a) && n < len(b) && a[n] == b[n] {
+			n++
+		}
+		if n > 0 {
+			rest := mid(a[n:], b[n:])
+			out := make([]byte, 0, n+len(rest))
+			out = append(out, b[:n]...)
+			out = append(out, rest...)
+			return out
+		}
+	}
+	var da, db int
+	if len(a) > 0 {
+		da = int(a[0])
+	} else {
+		da = 0x00 // virtual digit below the alphabet
+	}
+	if b == nil {
+		db = 0xFF // virtual digit above the alphabet
+	} else {
+		db = int(b[0])
+	}
+	if db-da > 1 {
+		m := byte((da + db) / 2)
+		if m == MinDigit {
+			// A bare MinDigit would end the key with the smallest digit;
+			// extend it so an insertion before the new key stays possible.
+			return []byte{MinDigit, 0x80}
+		}
+		return []byte{m}
+	}
+	// Adjacent digits.
+	if da >= MinDigit {
+		// Keep a's first digit and move strictly above a's remainder.
+		rest := mid(a[1:], nil)
+		out := make([]byte, 0, 1+len(rest))
+		out = append(out, byte(da))
+		out = append(out, rest...)
+		return out
+	}
+	// a is empty and b starts with MinDigit; since keys never end in
+	// MinDigit, b has more digits.
+	rest := mid(nil, b[1:])
+	out := make([]byte, 0, 1+len(rest))
+	out = append(out, MinDigit)
+	out = append(out, rest...)
+	return out
+}
+
+// String renders the label for diagnostics.
+func (l Label) String() string {
+	return fmt.Sprintf("%x/%02x", l.Prefix, l.Delim)
+}
+
+// Clone returns a deep copy of the label.
+func (l Label) Clone() Label {
+	p := make([]byte, len(l.Prefix))
+	copy(p, l.Prefix)
+	return Label{Prefix: p, Delim: l.Delim}
+}
+
+// Valid performs structural validation: non-empty prefix with no zero
+// bytes. (Prefixes may contain the delimiter byte 0xFF: sibling labels
+// allocated above a range end inherit it; comparisons stay sound because no
+// label ever equals another label's range bound.)
+func (l Label) Valid() bool {
+	if len(l.Prefix) == 0 || l.Delim == 0 {
+		return false
+	}
+	for _, c := range l.Prefix {
+		if c < MinDigit {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,363 @@
+package nid
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestRootValid(t *testing.T) {
+	r := Root()
+	if !r.Valid() {
+		t.Fatal("root label invalid")
+	}
+}
+
+func TestBulkOrdering(t *testing.T) {
+	p := Root()
+	prev := Bulk(p, 0)
+	for i := uint64(1); i < 3000; i++ {
+		cur := Bulk(p, i)
+		if Compare(prev, cur) >= 0 {
+			t.Fatalf("Bulk(%d) !< Bulk(%d): %v vs %v", i-1, i, prev, cur)
+		}
+		if !IsAncestor(p, cur) {
+			t.Fatalf("parent not ancestor of Bulk(%d)", i)
+		}
+		prev = cur
+	}
+}
+
+func TestBulkLabelLengthLogarithmic(t *testing.T) {
+	p := Root()
+	l := Bulk(p, 1_000_000)
+	// 1e6 in base 250 is 3 digits + length byte + root prefix.
+	if len(l.Prefix) > len(p.Prefix)+4 {
+		t.Fatalf("bulk label too long: %d bytes", len(l.Prefix))
+	}
+}
+
+func TestBetweenNeighbours(t *testing.T) {
+	p := Root()
+	a := Bulk(p, 0)
+	b := Bulk(p, 1)
+	m := Between(p, &a, &b)
+	if Compare(a, m) >= 0 || Compare(m, b) >= 0 {
+		t.Fatalf("between out of order: %v %v %v", a, m, b)
+	}
+	if !IsAncestor(p, m) {
+		t.Fatal("parent must be ancestor of between-label")
+	}
+}
+
+func TestBetweenFirstAndLast(t *testing.T) {
+	p := Root()
+	a := Bulk(p, 5)
+	first := Between(p, nil, &a)
+	if Compare(first, a) >= 0 {
+		t.Fatal("first-child label not before existing child")
+	}
+	last := Between(p, &a, nil)
+	if Compare(a, last) >= 0 {
+		t.Fatal("last-child label not after existing child")
+	}
+	if !IsAncestor(p, first) || !IsAncestor(p, last) {
+		t.Fatal("parent must remain ancestor")
+	}
+}
+
+func TestRepeatedPrependNeverFails(t *testing.T) {
+	// The never-ends-in-MinDigit invariant guarantees there is always room
+	// before the first child.
+	p := Root()
+	cur := Between(p, nil, nil)
+	for i := 0; i < 300; i++ {
+		next := Between(p, nil, &cur)
+		if Compare(next, cur) >= 0 {
+			t.Fatalf("prepend %d out of order", i)
+		}
+		if !next.Valid() {
+			t.Fatalf("prepend %d produced invalid label %v", i, next)
+		}
+		cur = next
+	}
+}
+
+func TestSiblingRangesDisjoint(t *testing.T) {
+	// Regression: a following sibling must be allocated ABOVE the left
+	// sibling's descendant range, or descendants of the two siblings lose
+	// document-order monotonicity.
+	p := Root()
+	var sibs []Label
+	cur := Between(p, nil, nil)
+	sibs = append(sibs, cur)
+	for i := 0; i < 300; i++ {
+		cur = Between(p, &cur, nil)
+		sibs = append(sibs, cur)
+	}
+	for i := 0; i+1 < len(sibs); i++ {
+		if IsAncestor(sibs[i], sibs[i+1]) {
+			t.Fatalf("sibling %d labeled inside sibling %d's range", i+1, i)
+		}
+		// Descendants of sibs[i] all precede sibs[i+1] and its descendants.
+		childI := Between(sibs[i], nil, nil)
+		childNext := Between(sibs[i+1], nil, nil)
+		if Compare(childI, sibs[i+1]) >= 0 {
+			t.Fatalf("descendant of sibling %d not before sibling %d", i, i+1)
+		}
+		if Compare(childI, childNext) >= 0 {
+			t.Fatalf("cross-subtree document order violated at sibling %d", i)
+		}
+	}
+}
+
+func TestDeepChainAppendOrderMonotone(t *testing.T) {
+	// Simulates bulk loading: many siblings each with children; every new
+	// label must be strictly greater than every previously assigned label
+	// (document-order load ⇒ lexicographic monotonicity).
+	p := Root()
+	var last *Label
+	var all []Label
+	var prevSib *Label
+	for i := 0; i < 120; i++ {
+		sib := Between(p, prevSib, nil)
+		all = append(all, sib)
+		cp := sib
+		prevSib = &cp
+		var prevChild *Label
+		for j := 0; j < 8; j++ {
+			c := Between(sib, prevChild, nil)
+			all = append(all, c)
+			cc := c
+			prevChild = &cc
+		}
+		_ = last
+	}
+	for i := 0; i+1 < len(all); i++ {
+		if Compare(all[i], all[i+1]) >= 0 {
+			t.Fatalf("label %d not before label %d (bulk-load monotonicity)", i, i+1)
+		}
+	}
+}
+
+func TestRepeatedAppend(t *testing.T) {
+	p := Root()
+	cur := Between(p, nil, nil)
+	for i := 0; i < 300; i++ {
+		next := Between(p, &cur, nil)
+		if Compare(cur, next) >= 0 {
+			t.Fatalf("append %d out of order", i)
+		}
+		if !IsAncestor(p, next) {
+			t.Fatalf("append %d escaped parent range", i)
+		}
+		cur = next
+	}
+}
+
+func TestRepeatedBisection(t *testing.T) {
+	// Keep inserting between the same two neighbours; labels grow but order
+	// and ancestry always hold and no other label ever changes.
+	p := Root()
+	lo := Bulk(p, 0)
+	hi := Bulk(p, 1)
+	for i := 0; i < 200; i++ {
+		m := Between(p, &lo, &hi)
+		if Compare(lo, m) >= 0 || Compare(m, hi) >= 0 {
+			t.Fatalf("bisection %d out of order", i)
+		}
+		if !IsAncestor(p, m) {
+			t.Fatalf("bisection %d escaped parent", i)
+		}
+		lo = m
+	}
+}
+
+func TestAncestorTransitivityDeepChain(t *testing.T) {
+	cur := Root()
+	chain := []Label{cur}
+	for i := 0; i < 50; i++ {
+		cur = Between(cur, nil, nil)
+		chain = append(chain, cur)
+	}
+	for i := range chain {
+		for j := range chain {
+			got := IsAncestor(chain[i], chain[j])
+			want := i < j
+			if got != want {
+				t.Fatalf("IsAncestor(depth %d, depth %d) = %v", i, j, got)
+			}
+		}
+	}
+}
+
+func TestSiblingsAreNotAncestors(t *testing.T) {
+	p := Root()
+	var labels []Label
+	for i := uint64(0); i < 50; i++ {
+		labels = append(labels, Bulk(p, i))
+	}
+	for i := range labels {
+		for j := range labels {
+			if i != j && IsAncestor(labels[i], labels[j]) {
+				t.Fatalf("sibling %d reported ancestor of %d", i, j)
+			}
+		}
+	}
+}
+
+func TestDocOrderAcrossSubtrees(t *testing.T) {
+	// A node's entire subtree must precede its following sibling's subtree.
+	p := Root()
+	a := Bulk(p, 0)
+	b := Bulk(p, 1)
+	aChild := Between(a, nil, nil)
+	bChild := Between(b, nil, nil)
+	order := []Label{a, aChild, b, bChild}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if Compare(order[i], order[j]) >= 0 {
+				t.Fatalf("doc order violated between %d and %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRandomInsertionProperty(t *testing.T) {
+	// Property: after any sequence of random sibling insertions, the stored
+	// left-to-right sequence is strictly increasing and all are children of
+	// the parent.
+	rng := rand.New(rand.NewSource(42))
+	p := Root()
+	seq := []Label{Between(p, nil, nil)}
+	for i := 0; i < 2000; i++ {
+		at := rng.Intn(len(seq) + 1)
+		var left, right *Label
+		if at > 0 {
+			left = &seq[at-1]
+		}
+		if at < len(seq) {
+			right = &seq[at]
+		}
+		l := Between(p, left, right)
+		seq = append(seq, Label{})
+		copy(seq[at+1:], seq[at:])
+		seq[at] = l
+	}
+	if !sort.SliceIsSorted(seq, func(i, j int) bool { return Compare(seq[i], seq[j]) < 0 }) {
+		t.Fatal("sibling sequence not strictly ordered after random inserts")
+	}
+	for i, l := range seq {
+		if !IsAncestor(p, l) {
+			t.Fatalf("label %d escaped parent", i)
+		}
+		if !l.Valid() {
+			t.Fatalf("label %d invalid", i)
+		}
+	}
+}
+
+func TestMidProperty(t *testing.T) {
+	// Property-based: for random valid bounds, mid is strictly between.
+	cfg := &quick.Config{MaxCount: 2000}
+	f := func(aRaw, bRaw []byte) bool {
+		a := sanitize(aRaw)
+		b := sanitize(bRaw)
+		switch bytes.Compare(a, b) {
+		case 0:
+			return true // skip equal bounds
+		case 1:
+			a, b = b, a
+		}
+		if len(b) == 0 {
+			return true
+		}
+		m := mid(a, b)
+		return bytes.Compare(a, m) < 0 && bytes.Compare(m, b) < 0 && m[len(m)-1] != MinDigit
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize maps arbitrary bytes into the label alphabet and strips trailing
+// MinDigits (package invariant for existing keys).
+func sanitize(raw []byte) []byte {
+	out := make([]byte, 0, len(raw))
+	for _, c := range raw {
+		d := MinDigit + c%(MaxDigit-MinDigit+1)
+		out = append(out, d)
+	}
+	for len(out) > 0 && out[len(out)-1] == MinDigit {
+		out = out[:len(out)-1]
+	}
+	return out
+}
+
+func TestCloneIndependence(t *testing.T) {
+	l := Root()
+	c := l.Clone()
+	c.Prefix[0] = 0x40
+	if l.Prefix[0] != 0x80 {
+		t.Fatal("Clone must not share backing storage")
+	}
+}
+
+func TestXISSInvariantsAndRelabeling(t *testing.T) {
+	tr := NewXISS(4)
+	rng := rand.New(rand.NewSource(7))
+	nodes := []*XNode{tr.Root}
+	for i := 0; i < 2000; i++ {
+		p := nodes[rng.Intn(len(nodes))]
+		n := tr.InsertChild(p, rng.Intn(len(p.Children)+1))
+		nodes = append(nodes, n)
+	}
+	// Interval containment must hold for every parent/child pair.
+	var check func(n *XNode)
+	var prevOrder uint64
+	var walk func(n *XNode)
+	check = func(n *XNode) {
+		for _, c := range n.Children {
+			if !IsAncestorX(n, c) {
+				t.Fatalf("containment violated: parent [%d,%d) child [%d,%d)",
+					n.Order, n.Order+n.Size, c.Order, c.Order+c.Size)
+			}
+			check(c)
+		}
+	}
+	check(tr.Root)
+	// Pre-order traversal must be strictly increasing in Order.
+	walk = func(n *XNode) {
+		if n.Order <= prevOrder && n != tr.Root {
+			t.Fatalf("document order violated at order %d", n.Order)
+		}
+		prevOrder = n.Order
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	// With a small gap, 2000 random inserts must have forced relabelings —
+	// this is the XISS drawback E2 measures (first relabel is construction).
+	if tr.Relabels() < 2 {
+		t.Fatalf("expected insertion-forced relabelings, got %d", tr.Relabels())
+	}
+	if tr.Count() != 2001 {
+		t.Fatalf("count = %d", tr.Count())
+	}
+}
+
+func TestXISSSiblingOrder(t *testing.T) {
+	tr := NewXISS(8)
+	a := tr.AppendChild(tr.Root)
+	b := tr.AppendChild(tr.Root)
+	c := tr.InsertChild(tr.Root, 1) // between a and b
+	if !DocLessX(a, c) || !DocLessX(c, b) {
+		t.Fatal("inserted sibling out of order")
+	}
+	if IsAncestorX(a, b) || IsAncestorX(b, a) {
+		t.Fatal("siblings must not be ancestors")
+	}
+}

@@ -1,0 +1,122 @@
+package nid
+
+// XISS is the baseline numbering scheme the paper positions itself against
+// (§4.1.1): each node holds an integer interval (order, size) such that a
+// node's interval contains those of all its descendants. Intervals are
+// allocated with slack so that some insertions fit into gaps, but once a gap
+// is exhausted the entire document must be relabeled — the drawback Sedna's
+// string labels remove. The relabel counter is what experiment E2 measures.
+
+// XNode is a node in an XISS-labeled tree.
+type XNode struct {
+	Order, Size uint64
+	Parent      *XNode
+	Children    []*XNode
+}
+
+// XISSTree is a document tree labeled with the XISS interval scheme.
+type XISSTree struct {
+	Root     *XNode
+	gap      uint64
+	count    int
+	relabels int
+}
+
+// NewXISS creates a tree with the given slack multiplier (numbers of label
+// space reserved around every node; larger gaps postpone relabeling at the
+// cost of label-space consumption).
+func NewXISS(gap uint64) *XISSTree {
+	if gap < 2 {
+		gap = 2
+	}
+	t := &XISSTree{Root: &XNode{}, gap: gap, count: 1}
+	t.relabel()
+	return t
+}
+
+// Count returns the number of nodes.
+func (t *XISSTree) Count() int { return t.count }
+
+// Relabels returns how many whole-document relabelings insertions have
+// forced so far.
+func (t *XISSTree) Relabels() int { return t.relabels }
+
+// relabel reassigns every interval with fresh slack.
+func (t *XISSTree) relabel() {
+	t.relabels++
+	t.assign(t.Root, 1)
+}
+
+func (t *XISSTree) assign(n *XNode, start uint64) uint64 {
+	n.Order = start
+	cur := start + t.gap
+	for _, c := range n.Children {
+		cur = t.assign(c, cur) + t.gap
+	}
+	n.Size = cur - start
+	return cur
+}
+
+// InsertChild inserts a new child of p at position at (0 = first). If the
+// local gap cannot host a fresh interval, the whole tree is relabeled
+// first — the event the Sedna scheme never needs.
+func (t *XISSTree) InsertChild(p *XNode, at int) *XNode {
+	if at < 0 || at > len(p.Children) {
+		panic("nid: XISS insert position out of range")
+	}
+	lo, hi := t.gapAround(p, at)
+	if hi <= lo || hi-lo < 3 {
+		t.relabel()
+		lo, hi = t.gapAround(p, at)
+		if hi <= lo || hi-lo < 3 {
+			// Even fresh slack cannot host it locally: grow the gap and
+			// relabel again. This mirrors interval schemes doubling their
+			// label space.
+			t.gap *= 2
+			t.relabel()
+			lo, hi = t.gapAround(p, at)
+		}
+	}
+	span := hi - lo
+	n := &XNode{Parent: p, Order: lo + span/3, Size: max64(1, span/3)}
+	p.Children = append(p.Children, nil)
+	copy(p.Children[at+1:], p.Children[at:])
+	p.Children[at] = n
+	t.count++
+	return n
+}
+
+// AppendChild inserts a new last child of p.
+func (t *XISSTree) AppendChild(p *XNode) *XNode {
+	return t.InsertChild(p, len(p.Children))
+}
+
+// gapAround returns the open interval (lo, hi) of unused label numbers
+// available for a child of p at position at.
+func (t *XISSTree) gapAround(p *XNode, at int) (lo, hi uint64) {
+	lo = p.Order
+	if at > 0 {
+		c := p.Children[at-1]
+		lo = c.Order + c.Size
+	}
+	hi = p.Order + p.Size
+	if at < len(p.Children) {
+		hi = p.Children[at].Order
+	}
+	return lo + 1, hi
+}
+
+// IsAncestorX reports the ancestor relation under interval containment.
+func IsAncestorX(a, b *XNode) bool {
+	return a.Order < b.Order && b.Order+b.Size <= a.Order+a.Size
+}
+
+// DocLessX reports document order between two XISS nodes.
+func DocLessX(a, b *XNode) bool { return a.Order < b.Order }
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,13 @@
+package pagefile
+
+import "os"
+
+// Small wrappers so tests can open files without importing os at every site.
+
+func osOpenRW(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0o644)
+}
+
+func osOpenAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}

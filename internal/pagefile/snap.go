@@ -1,0 +1,217 @@
+package pagefile
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"sedna/internal/sas"
+)
+
+// SnapMagic identifies a snapshot-area file.
+const SnapMagic = "SEDNSNP1"
+
+// SnapArea is the snapshot area: an append-only side file that receives the
+// persistent-snapshot (checkpoint-time) copy of every page the first time it
+// is overwritten in the data file after a checkpoint. Restoring all entries
+// over the data file reconstructs the transaction-consistent persistent
+// snapshot — step one of the paper's two-step recovery (§6.4). The area is
+// reset at every checkpoint.
+//
+// Every area carries the era (the checkpoint LSN) of the snapshot its
+// entries protect. Recovery restores the area only when its era matches the
+// master page's checkpoint LSN; a mismatch means a crash hit the narrow
+// window between publishing a new checkpoint and resetting the area, in
+// which case the data file already *is* the new snapshot and the stale
+// entries must be discarded.
+//
+// File layout: 8-byte magic, 8-byte era, then entries of
+// (layer uint32 | page uint32 | PageSize bytes).
+type SnapArea struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	era    uint64
+	saved  map[sas.PageID]bool
+	noSync bool
+}
+
+const snapHeaderSize = 16
+const snapEntrySize = 8 + sas.PageSize
+
+// OpenSnapArea opens or creates the snapshot area at path. Existing entries
+// are preserved (they are consumed by recovery).
+func OpenSnapArea(path string, opts Options) (*SnapArea, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pagefile: open snapshot area: %w", err)
+	}
+	sa := &SnapArea{f: f, path: path, saved: make(map[sas.PageID]bool), noSync: opts.NoSync}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < snapHeaderSize {
+		if err := sa.writeHeaderLocked(0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return sa, nil
+	}
+	var hdr [snapHeaderSize]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(hdr[:8]) != SnapMagic {
+		f.Close()
+		return nil, fmt.Errorf("%w: snapshot area magic", ErrCorrupt)
+	}
+	sa.era = binary.LittleEndian.Uint64(hdr[8:])
+	// Rebuild the saved set so that duplicate saves are suppressed if the
+	// process reopens the area without a checkpoint in between.
+	if err := sa.Restore(func(id sas.PageID, _ []byte) error {
+		sa.saved[id] = true
+		return nil
+	}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return sa, nil
+}
+
+func (sa *SnapArea) writeHeaderLocked(era uint64) error {
+	var hdr [snapHeaderSize]byte
+	copy(hdr[:], SnapMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], era)
+	if _, err := sa.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("pagefile: snapshot header: %w", err)
+	}
+	if !sa.noSync {
+		if err := sa.f.Sync(); err != nil {
+			return err
+		}
+	}
+	sa.era = era
+	if _, err := sa.f.Seek(snapHeaderSize, io.SeekStart); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Era returns the checkpoint era whose snapshot this area protects.
+func (sa *SnapArea) Era() uint64 {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.era
+}
+
+// Saved reports whether the page already has a snapshot copy.
+func (sa *SnapArea) Saved(id sas.PageID) bool {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.saved[id]
+}
+
+// Save appends the persistent-snapshot copy of the page if one has not been
+// saved since the last reset. data must be the page content as of the last
+// checkpoint. It is durable when Save returns (unless NoSync).
+func (sa *SnapArea) Save(id sas.PageID, data []byte) error {
+	if len(data) != sas.PageSize {
+		return fmt.Errorf("pagefile: snapshot save buffer is %d bytes", len(data))
+	}
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if sa.saved[id] {
+		return nil
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], id.Layer)
+	binary.LittleEndian.PutUint32(hdr[4:], id.Page)
+	if _, err := sa.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pagefile: snapshot append: %w", err)
+	}
+	if _, err := sa.f.Write(data); err != nil {
+		return fmt.Errorf("pagefile: snapshot append: %w", err)
+	}
+	if !sa.noSync {
+		if err := sa.f.Sync(); err != nil {
+			return fmt.Errorf("pagefile: snapshot sync: %w", err)
+		}
+	}
+	sa.saved[id] = true
+	return nil
+}
+
+// Restore iterates all complete entries in the area in append order. A
+// truncated trailing entry (torn write during a crash) is ignored: the
+// corresponding Save never returned, so the data-file page was never
+// overwritten. The file position is left at the end for further appends.
+func (sa *SnapArea) Restore(apply func(id sas.PageID, data []byte) error) error {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if _, err := sa.f.Seek(snapHeaderSize, io.SeekStart); err != nil {
+		return err
+	}
+	buf := make([]byte, snapEntrySize)
+	for {
+		_, err := io.ReadFull(sa.f, buf)
+		if err == io.EOF {
+			return nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil // torn tail
+		}
+		if err != nil {
+			return fmt.Errorf("pagefile: snapshot read: %w", err)
+		}
+		id := sas.PageID{
+			Layer: binary.LittleEndian.Uint32(buf[0:]),
+			Page:  binary.LittleEndian.Uint32(buf[4:]),
+		}
+		if err := apply(id, buf[8:]); err != nil {
+			return err
+		}
+	}
+}
+
+// Len returns the number of distinct pages saved since the last reset.
+func (sa *SnapArea) Len() int {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return len(sa.saved)
+}
+
+// Reset truncates the area and stamps it with the era (checkpoint LSN) of
+// the snapshot its future entries will protect. Called at checkpoint after
+// all committed pages have been flushed to the data file and the master page
+// published.
+func (sa *SnapArea) Reset(era uint64) error {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	if err := sa.f.Truncate(0); err != nil {
+		return fmt.Errorf("pagefile: snapshot truncate: %w", err)
+	}
+	if err := sa.writeHeaderLocked(era); err != nil {
+		return err
+	}
+	sa.saved = make(map[sas.PageID]bool)
+	return nil
+}
+
+// Close closes the snapshot area.
+func (sa *SnapArea) Close() error {
+	sa.mu.Lock()
+	defer sa.mu.Unlock()
+	return sa.f.Close()
+}
+
+// Path returns the file path.
+func (sa *SnapArea) Path() string { return sa.path }

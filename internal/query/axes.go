@@ -1,0 +1,314 @@
+package query
+
+import (
+	"fmt"
+
+	"sedna/internal/nid"
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+)
+
+// Axis evaluation over stored nodes. The implementations exploit the
+// descriptive-schema clustering exactly as §4.1/§5 describe: a named child
+// step touches only the blocks of the one matching schema node, and a
+// descendant step resolves the matching schema nodes in main memory first
+// and then scans only their block lists, range-restricted by the context
+// node's numbering-scheme label.
+
+// matchesSchema reports whether a schema node satisfies the node test.
+func matchesSchema(sn *schema.Node, test NodeTest) bool {
+	switch test.Kind {
+	case TestName:
+		if sn.Kind != schema.KindElement {
+			return false
+		}
+		return test.Name == "*" || sn.Name == test.Name
+	case TestNode:
+		return true
+	case TestText:
+		return sn.Kind == schema.KindText
+	case TestComment:
+		return sn.Kind == schema.KindComment
+	case TestPI:
+		return sn.Kind == schema.KindPI && (test.Name == "" || test.Name == "*" || sn.Name == test.Name)
+	case TestElement:
+		return sn.Kind == schema.KindElement && (test.Name == "" || test.Name == "*" || sn.Name == test.Name)
+	case TestAttrTest:
+		return sn.Kind == schema.KindAttribute && (test.Name == "" || test.Name == "*" || sn.Name == test.Name)
+	default:
+		return false
+	}
+}
+
+// attributeTest adapts a test for the attribute axis: a plain name test
+// matches attribute nodes there.
+func attributeTest(test NodeTest) NodeTest {
+	if test.Kind == TestName {
+		return NodeTest{Kind: TestAttrTest, Name: test.Name}
+	}
+	return test
+}
+
+// axisStored evaluates an axis step for one stored context node, appending
+// matches in document order.
+func axisStored(env *env, n *NodeItem, axis Axis, test NodeTest, out []Item) ([]Item, error) {
+	switch axis {
+	case AxisChild:
+		return childAxis(env, n, test, false, out)
+	case AxisAttribute:
+		return childAxis(env, n, attributeTest(test), true, out)
+	case AxisSelf:
+		if matchesStoredNode(n, test) {
+			out = append(out, n)
+		}
+		return out, nil
+	case AxisParent:
+		p, ok, err := storage.ParentOf(env.r, &n.D)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			pi := &NodeItem{Doc: n.Doc, D: p}
+			if matchesStoredNode(pi, test) {
+				out = append(out, pi)
+			}
+		}
+		return out, nil
+	case AxisAncestor, AxisAncestorOrSelf:
+		var chain []Item
+		cur := *n
+		if axis == AxisAncestorOrSelf && matchesStoredNode(n, test) {
+			chain = append(chain, n)
+		}
+		for {
+			p, ok, err := storage.ParentOf(env.r, &cur.D)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			pi := &NodeItem{Doc: n.Doc, D: p}
+			if matchesStoredNode(pi, test) {
+				chain = append(chain, pi)
+			}
+			cur = *pi
+		}
+		// Ancestors accumulate bottom-up; document order is top-down.
+		for i := len(chain) - 1; i >= 0; i-- {
+			out = append(out, chain[i])
+		}
+		return out, nil
+	case AxisDescendant:
+		return descendantAxis(env, n, test, false, out)
+	case AxisDescendantOrSelf:
+		return descendantAxis(env, n, test, true, out)
+	case AxisFollowingSibling:
+		sib := n.D.RightSib
+		for !sib.IsNil() {
+			d, err := storage.ReadDesc(env.r, sib)
+			if err != nil {
+				return nil, err
+			}
+			si := &NodeItem{Doc: n.Doc, D: d}
+			if matchesStoredNode(si, test) {
+				out = append(out, si)
+			}
+			sib = d.RightSib
+		}
+		return out, nil
+	case AxisPrecedingSibling:
+		var rev []Item
+		sib := n.D.LeftSib
+		for !sib.IsNil() {
+			d, err := storage.ReadDesc(env.r, sib)
+			if err != nil {
+				return nil, err
+			}
+			si := &NodeItem{Doc: n.Doc, D: d}
+			if matchesStoredNode(si, test) {
+				rev = append(rev, si)
+			}
+			sib = d.LeftSib
+		}
+		for i := len(rev) - 1; i >= 0; i-- {
+			out = append(out, rev[i])
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("query: unsupported axis %v", axis)
+	}
+}
+
+func matchesStoredNode(n *NodeItem, test NodeTest) bool {
+	sn := n.Doc.Schema.ByID(n.D.SchemaID)
+	return sn != nil && matchesSchema(sn, test)
+}
+
+// childAxis returns the children of n matching test in document order. For
+// a specific name/kind test it touches only the matching schema node's
+// children via the per-schema first-child slot; for wildcard tests it walks
+// the sibling chain.
+func childAxis(env *env, n *NodeItem, test NodeTest, attrs bool, out []Item) ([]Item, error) {
+	sn := n.Doc.Schema.ByID(n.D.SchemaID)
+	if sn == nil {
+		return nil, fmt.Errorf("query: unknown schema node %d", n.D.SchemaID)
+	}
+	// Identify matching schema children.
+	var matched []*schema.Node
+	for _, c := range sn.Children {
+		isAttr := c.Kind == schema.KindAttribute
+		if isAttr != attrs {
+			continue
+		}
+		if matchesSchema(c, test) {
+			matched = append(matched, c)
+		}
+	}
+	if len(matched) == 0 {
+		return out, nil
+	}
+	if len(matched) == 1 {
+		// One schema child: follow its slot and the in-list chain while the
+		// parent stays the same (children of one parent are contiguous in
+		// the schema node's list).
+		slot := sn.ChildIndex(matched[0])
+		first := n.D.ChildAtSlot(slot)
+		if first.IsNil() {
+			return out, nil
+		}
+		d, err := storage.ReadDesc(env.r, first)
+		if err != nil {
+			return nil, err
+		}
+		for {
+			if d.Parent != n.D.Handle {
+				break
+			}
+			out = append(out, &NodeItem{Doc: n.Doc, D: d})
+			nd, ok, err := storage.NextInList(env.r, &d)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			d = nd
+		}
+		return out, nil
+	}
+	// Several schema children match (wildcard): walk the sibling chain for
+	// global document order.
+	c, ok, err := storage.FirstChild(env.r, &n.D)
+	for {
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		ci := &NodeItem{Doc: n.Doc, D: c}
+		csn := n.Doc.Schema.ByID(c.SchemaID)
+		if csn != nil {
+			isAttr := csn.Kind == schema.KindAttribute
+			if isAttr == attrs && matchesSchema(csn, test) {
+				out = append(out, ci)
+			}
+		}
+		if c.RightSib.IsNil() {
+			return out, nil
+		}
+		c, err = storage.ReadDesc(env.r, c.RightSib)
+	}
+}
+
+// descendantAxis evaluates descendant(-or-self) with the schema-driven
+// strategy: matching schema nodes are found in main memory, then only their
+// block lists are scanned, restricted to the label range of the context
+// node; per-schema streams are merged by document order.
+func descendantAxis(env *env, n *NodeItem, test NodeTest, orSelf bool, out []Item) ([]Item, error) {
+	sn := n.Doc.Schema.ByID(n.D.SchemaID)
+	if sn == nil {
+		return nil, fmt.Errorf("query: unknown schema node %d", n.D.SchemaID)
+	}
+	if orSelf && matchesSchema(sn, test) {
+		out = append(out, n)
+	}
+	matched := sn.Descendants(func(c *schema.Node) bool {
+		return c.Kind != schema.KindAttribute && matchesSchema(c, test)
+	})
+	if len(matched) == 0 {
+		return out, nil
+	}
+	streams := make([]*rangeScan, 0, len(matched))
+	for _, m := range matched {
+		rs, err := newRangeScan(env, n.Doc, m, n.D.Label)
+		if err != nil {
+			return nil, err
+		}
+		if rs != nil {
+			streams = append(streams, rs)
+		}
+	}
+	return mergeStreams(env, n.Doc, streams, out)
+}
+
+// rangeScan iterates the descriptors of one schema node whose labels fall
+// inside the descendant range of an ancestor label.
+type rangeScan struct {
+	anc nid.Label
+	cur storage.Desc
+	ok  bool
+}
+
+// newRangeScan positions a scan at the first descriptor of sn that is a
+// descendant of anc; nil when none exists. Blocks whose last descriptor
+// precedes the range are skipped via their headers (the partial order makes
+// this sound).
+func newRangeScan(env *env, doc *storage.Doc, sn *schema.Node, anc nid.Label) (*rangeScan, error) {
+	env.ctx.Stats.SchemaScans++
+	d, ok, err := storage.FirstInRange(env.r, sn, anc)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return &rangeScan{anc: anc, cur: d, ok: true}, nil
+}
+
+func (rs *rangeScan) advance(env *env) error {
+	n, ok, err := storage.NextInList(env.r, &rs.cur)
+	if err != nil {
+		return err
+	}
+	if !ok || !nid.IsAncestor(rs.anc, n.Label) {
+		rs.ok = false
+		return nil
+	}
+	rs.cur = n
+	return nil
+}
+
+// mergeStreams merges label-ordered streams into document order.
+func mergeStreams(env *env, doc *storage.Doc, streams []*rangeScan, out []Item) ([]Item, error) {
+	for {
+		best := -1
+		for i, s := range streams {
+			if s == nil || !s.ok {
+				continue
+			}
+			if best < 0 || nid.Compare(s.cur.Label, streams[best].cur.Label) < 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return out, nil
+		}
+		d := streams[best].cur
+		out = append(out, &NodeItem{Doc: doc, D: d})
+		if err := streams[best].advance(env); err != nil {
+			return nil, err
+		}
+	}
+}

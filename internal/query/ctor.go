@@ -1,0 +1,259 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+)
+
+func kindText() schema.NodeKind    { return schema.KindText }
+func kindComment() schema.NodeKind { return schema.KindComment }
+
+// evalElementCtor constructs an element. Default semantics deep-copy node
+// content; a constructor the rewriter marked Virtual stores references
+// instead (§5.2.1) — semantically equivalent because the analysis proved the
+// content is only serialized.
+func evalElementCtor(c *ElementCtor, e *env, f *focus) (*TempNode, error) {
+	t := e.ctx.newTempNode(schema.KindElement, c.Name)
+	for _, a := range c.Attrs {
+		var sb strings.Builder
+		for _, part := range a.Value {
+			v, err := eval(part, e, f)
+			if err != nil {
+				return nil, err
+			}
+			s, err := atomizedString(e, v, " ")
+			if err != nil {
+				return nil, err
+			}
+			sb.WriteString(s)
+		}
+		at := e.ctx.newTempNode(schema.KindAttribute, a.Name)
+		at.Text = sb.String()
+		t.append(at)
+	}
+	for _, part := range c.Content {
+		v, err := eval(part, e, f)
+		if err != nil {
+			return nil, err
+		}
+		// Adjacent atomic values merge into one text node separated by
+		// spaces.
+		var atomRun []string
+		flushAtoms := func() {
+			if len(atomRun) == 0 {
+				return
+			}
+			tn := e.ctx.newTempNode(schema.KindText, "")
+			tn.Text = strings.Join(atomRun, " ")
+			t.append(tn)
+			atomRun = nil
+		}
+		for _, it := range v {
+			switch x := it.(type) {
+			case *Atomic:
+				atomRun = append(atomRun, x.StringValue())
+			case *TempItem:
+				flushAtoms()
+				// Constructed content is adopted directly (it already is a
+				// copy); this is the embedded-constructor optimisation: the
+				// nested constructor's result parents straight into the
+				// enclosing element with no further copying.
+				t.append(x.N)
+			case *NodeItem:
+				flushAtoms()
+				if c.Virtual {
+					ref := e.ctx.newTempNode(schema.KindElement, "")
+					ref.Ref = x
+					t.append(ref)
+					e.ctx.Stats.VirtualRefs++
+				} else {
+					e.ctx.Stats.DeepCopies++
+					cp, err := deepCopyStored(e, x)
+					if err != nil {
+						return nil, err
+					}
+					t.append(cp)
+				}
+			}
+		}
+		flushAtoms()
+	}
+	return t, nil
+}
+
+// atomizedString atomizes a sequence and joins the values with sep.
+func atomizedString(e *env, items []Item, sep string) (string, error) {
+	var parts []string
+	for _, it := range items {
+		a, err := atomize(e, it)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, a.StringValue())
+	}
+	return strings.Join(parts, sep), nil
+}
+
+// axisTemp evaluates axes over constructed nodes; virtual references expand
+// lazily when navigation enters them.
+func axisTemp(e *env, n *TempNode, axis Axis, test NodeTest, out []Item) ([]Item, error) {
+	if err := n.expand(e); err != nil {
+		return nil, err
+	}
+	matches := func(t *TempNode) bool {
+		return matchesTempNode(t, test)
+	}
+	switch axis {
+	case AxisChild, AxisAttribute:
+		wantAttr := axis == AxisAttribute
+		tt := test
+		if wantAttr {
+			tt = attributeTest(test)
+		}
+		for _, c := range n.Children {
+			if c.Ref != nil {
+				// A referenced stored subtree: match against the stored
+				// node.
+				sn := c.Ref.Doc.Schema.ByID(c.Ref.D.SchemaID)
+				isAttr := sn.Kind == schema.KindAttribute
+				if isAttr == wantAttr && matchesSchema(sn, tt) {
+					out = append(out, c.Ref)
+				}
+				continue
+			}
+			isAttr := c.Kind == schema.KindAttribute
+			if isAttr == wantAttr && matchesTempNode(c, tt) {
+				out = append(out, &TempItem{N: c})
+			}
+		}
+		return out, nil
+	case AxisSelf:
+		if matches(n) {
+			out = append(out, &TempItem{N: n})
+		}
+		return out, nil
+	case AxisParent:
+		if n.Parent != nil && matchesTempNode(n.Parent, test) {
+			out = append(out, &TempItem{N: n.Parent})
+		}
+		return out, nil
+	case AxisAncestor, AxisAncestorOrSelf:
+		var chain []Item
+		if axis == AxisAncestorOrSelf && matches(n) {
+			chain = append(chain, &TempItem{N: n})
+		}
+		for p := n.Parent; p != nil; p = p.Parent {
+			if matchesTempNode(p, test) {
+				chain = append(chain, &TempItem{N: p})
+			}
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			out = append(out, chain[i])
+		}
+		return out, nil
+	case AxisDescendant, AxisDescendantOrSelf:
+		if axis == AxisDescendantOrSelf && matches(n) {
+			out = append(out, &TempItem{N: n})
+		}
+		var rec func(t *TempNode) error
+		rec = func(t *TempNode) error {
+			if err := t.expand(e); err != nil {
+				return err
+			}
+			for _, c := range t.Children {
+				if c.Ref != nil {
+					var err error
+					out, err = axisStored(e, c.Ref, AxisDescendantOrSelf, test, out)
+					if err != nil {
+						return err
+					}
+					continue
+				}
+				if c.Kind == schema.KindAttribute {
+					continue
+				}
+				if matchesTempNode(c, test) {
+					out = append(out, &TempItem{N: c})
+				}
+				if err := rec(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return out, rec(n)
+	case AxisFollowingSibling, AxisPrecedingSibling:
+		if n.Parent == nil {
+			return out, nil
+		}
+		sibs := n.Parent.Children
+		idx := -1
+		for i, s := range sibs {
+			if s == n {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return out, nil
+		}
+		if axis == AxisFollowingSibling {
+			for _, s := range sibs[idx+1:] {
+				if matchesTempNode(s, test) {
+					out = append(out, &TempItem{N: s})
+				}
+			}
+		} else {
+			for _, s := range sibs[:idx] {
+				if matchesTempNode(s, test) {
+					out = append(out, &TempItem{N: s})
+				}
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("query: unsupported axis %v over constructed nodes", axis)
+	}
+}
+
+func matchesTempNode(t *TempNode, test NodeTest) bool {
+	switch test.Kind {
+	case TestName:
+		return t.Kind == schema.KindElement && (test.Name == "*" || t.Name == test.Name)
+	case TestNode:
+		return true
+	case TestText:
+		return t.Kind == schema.KindText
+	case TestComment:
+		return t.Kind == schema.KindComment
+	case TestPI:
+		return t.Kind == schema.KindPI && (test.Name == "" || test.Name == "*" || t.Name == test.Name)
+	case TestElement:
+		return t.Kind == schema.KindElement && (test.Name == "" || test.Name == "*" || t.Name == test.Name)
+	case TestAttrTest:
+		return t.Kind == schema.KindAttribute && (test.Name == "" || test.Name == "*" || t.Name == test.Name)
+	default:
+		return false
+	}
+}
+
+// forEachDescendantText streams the text content of a stored element's
+// subtree in document order using the schema-driven descendant scan.
+func forEachDescendantText(e *env, n *NodeItem, fn func(text []byte)) error {
+	items, err := axisStored(e, n, AxisDescendant, NodeTest{Kind: TestText}, nil)
+	if err != nil {
+		return err
+	}
+	for _, it := range items {
+		ni := it.(*NodeItem)
+		b, err := storage.Text(e.r, &ni.D)
+		if err != nil {
+			return err
+		}
+		fn(b)
+	}
+	return nil
+}

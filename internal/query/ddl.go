@@ -1,0 +1,383 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"sedna/internal/core"
+	"sedna/internal/index"
+	"sedna/internal/lock"
+	"sedna/internal/sas"
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+	"sedna/internal/wal"
+)
+
+// execDDL runs a data-definition statement.
+func execDDL(d *DDL, e *env) (string, error) {
+	tx := e.ctx.Tx
+	if tx.ReadOnly() {
+		return "", fmt.Errorf("query: DDL in a read-only transaction")
+	}
+	switch d.Kind {
+	case DDLCreateDocument:
+		if _, err := tx.CreateDocument(d.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("document %q created", d.Name), nil
+
+	case DDLDropDocument:
+		// Drop dependent indexes first.
+		for _, ix := range tx.DB().Catalog().IndexesOf(d.Name) {
+			if err := dropIndex(e, ix.Name); err != nil {
+				return "", err
+			}
+		}
+		if err := tx.DropDocument(d.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("document %q dropped", d.Name), nil
+
+	case DDLCreateIndex:
+		return createIndex(e, d)
+
+	case DDLDropIndex:
+		if err := dropIndex(e, d.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("index %q dropped", d.Name), nil
+
+	default:
+		return "", fmt.Errorf("query: unknown DDL kind %d", d.Kind)
+	}
+}
+
+// createIndex builds a value index: the ON path selects the indexed nodes
+// over the descriptive schema, the BY path computes each node's key.
+func createIndex(e *env, d *DDL) (string, error) {
+	tx := e.ctx.Tx
+	cat := tx.DB().Catalog()
+	if _, exists := cat.Index(d.Name); exists {
+		return "", fmt.Errorf("query: index %q already exists", d.Name)
+	}
+	doc, err := tx.Document(d.DocName)
+	if err != nil {
+		return "", err
+	}
+	if err := tx.LockDocument(d.DocName, lock.Exclusive); err != nil {
+		return "", err
+	}
+	w, ok := e.r.(storage.Writer)
+	if !ok {
+		return "", fmt.Errorf("query: transaction cannot write")
+	}
+
+	meta := &core.IndexMeta{
+		Name: d.Name, DocName: d.DocName,
+		OnPath:  pathString(d.OnPath),
+		ByPath:  pathString(d.ByPath),
+		KeyType: d.AsType,
+	}
+	tree, err := index.Create(w)
+	if err != nil {
+		return "", err
+	}
+	meta.Root = tree.Root
+
+	onSet, bySteps, err := indexPaths(e, doc, meta)
+	if err != nil {
+		return "", err
+	}
+	count := 0
+	var outerErr error
+	doc.Schema.Root.Walk(func(sn *schema.Node) {
+		if outerErr != nil || !onSet[sn.ID] {
+			return
+		}
+		outerErr = storage.ScanSchema(e.r, sn, func(desc storage.Desc) (bool, error) {
+			node := &NodeItem{Doc: doc, D: desc}
+			key, ok, err := indexKeyOf(e, node, bySteps, meta.KeyType)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				if err := tree.Insert(w, key, desc.Handle); err != nil {
+					return false, err
+				}
+				count++
+			}
+			return true, nil
+		})
+	})
+	if outerErr != nil {
+		return "", outerErr
+	}
+	meta.Root = tree.Root
+
+	if err := tx.LogRecord(&wal.Record{
+		Type: wal.RecCreateIndex, DocID: doc.ID, Name: d.Name,
+		Path: strings.Join([]string{meta.OnPath, meta.ByPath, meta.KeyType}, "\x1f"),
+	}); err != nil {
+		return "", err
+	}
+	cat.PutIndex(meta)
+	tx.Defer(func() { cat.DeleteIndex(d.Name) })
+	if err := logIndexRoot(e, meta); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("index %q created over %d node(s)", d.Name, count), nil
+}
+
+func dropIndex(e *env, name string) error {
+	tx := e.ctx.Tx
+	cat := tx.DB().Catalog()
+	meta, ok := cat.Index(name)
+	if !ok {
+		return fmt.Errorf("query: index %q does not exist", name)
+	}
+	if err := tx.LockDocument(meta.DocName, lock.Exclusive); err != nil {
+		return err
+	}
+	w, okw := e.r.(storage.Writer)
+	if !okw {
+		return fmt.Errorf("query: transaction cannot write")
+	}
+	tree := &index.Tree{Root: meta.Root}
+	if err := tree.FreeAll(w); err != nil {
+		return err
+	}
+	if err := tx.LogRecord(&wal.Record{Type: wal.RecDropIndex, Name: name}); err != nil {
+		return err
+	}
+	cat.DeleteIndex(name)
+	tx.Defer(func() { cat.PutIndex(meta) })
+	return nil
+}
+
+// logIndexRoot records the tree root in the WAL so recovery can restore it.
+func logIndexRoot(e *env, meta *core.IndexMeta) error {
+	return e.ctx.Tx.LogRecord(&wal.Record{
+		Type: wal.RecIndexMeta, Name: meta.Name, Ptrs: [5]sas.XPtr{meta.Root},
+	})
+}
+
+// indexPaths resolves an index's ON path into the set of schema-node IDs it
+// denotes and parses its BY path into relative steps.
+func indexPaths(e *env, doc *storage.Doc, meta *core.IndexMeta) (map[uint32]bool, []*Step, error) {
+	onExpr, err := parseRelPath(meta.OnPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: index %q ON path: %w", meta.Name, err)
+	}
+	onSteps, err := pathSteps(onExpr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: index %q ON path: %w", meta.Name, err)
+	}
+	targets := resolveStructural(doc.Schema.Root, onSteps)
+	onSet := make(map[uint32]bool, len(targets))
+	for _, sn := range targets {
+		onSet[sn.ID] = true
+	}
+
+	byExpr, err := parseRelPath(meta.ByPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: index %q BY path: %w", meta.Name, err)
+	}
+	bySteps, err := pathSteps(byExpr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("query: index %q BY path: %w", meta.Name, err)
+	}
+	return onSet, bySteps, nil
+}
+
+// pathSteps decomposes a location-path expression into its steps, accepting
+// a doc(...) or root head.
+func pathSteps(x Expr) ([]*Step, error) {
+	var steps []*Step
+	for cur := x; cur != nil; {
+		switch n := cur.(type) {
+		case *Step:
+			steps = append([]*Step{n}, steps...)
+			cur = n.Input
+		case *DocCall, *Root:
+			cur = nil
+		default:
+			return nil, fmt.Errorf("not a structural location path (%T)", cur)
+		}
+	}
+	return steps, nil
+}
+
+// parseRelPath parses a stored path string back into an expression.
+func parseRelPath(s string) (Expr, error) {
+	if s == "" || s == "." {
+		return &Step{Axis: AxisSelf, Test: NodeTest{Kind: TestNode}}, nil
+	}
+	return ParseExpr(s)
+}
+
+// indexKeyOf evaluates the BY path relative to the node and normalizes the
+// first resulting value into an index key.
+func indexKeyOf(e *env, node *NodeItem, bySteps []*Step, keyType string) (index.Key, bool, error) {
+	items := []Item{node}
+	for _, st := range bySteps {
+		var next []Item
+		for _, it := range items {
+			n, ok := it.(*NodeItem)
+			if !ok {
+				continue
+			}
+			var err error
+			next, err = axisStored(e, n, st.Axis, st.Test, next)
+			if err != nil {
+				return index.Key{}, false, err
+			}
+		}
+		items = next
+		if len(items) == 0 {
+			return index.Key{}, false, nil
+		}
+	}
+	a, err := atomize(e, items[0])
+	if err != nil {
+		return index.Key{}, false, err
+	}
+	return index.KeyFor(keyType, a.StringValue(), a.NumberValue()), true, nil
+}
+
+// evalIndexScan implements the Sedna index-scan("name", value) function:
+// cost-based index selection is future work in the paper, so index access
+// is explicit, as in the original system.
+func evalIndexScan(e *env, name string, value *Atomic) ([]Item, error) {
+	e.ctx.Stats.IndexScans++
+	meta, ok := e.ctx.Tx.DB().Catalog().Index(name)
+	if !ok {
+		return nil, fmt.Errorf("query: index %q does not exist", name)
+	}
+	doc, err := e.ctx.Tx.Document(meta.DocName)
+	if err != nil {
+		return nil, err
+	}
+	if !e.ctx.Tx.ReadOnly() {
+		if err := e.ctx.Tx.LockDocument(meta.DocName, lock.Shared); err != nil {
+			return nil, err
+		}
+	}
+	_, bySteps, err := indexPaths(e, doc, meta)
+	if err != nil {
+		return nil, err
+	}
+	tree := &index.Tree{Root: meta.Root}
+	key := index.KeyFor(meta.KeyType, value.StringValue(), value.NumberValue())
+	handles, err := tree.Lookup(e.r, key)
+	if err != nil {
+		return nil, err
+	}
+	var out []Item
+	for _, h := range handles {
+		d, err := storage.DescOf(e.r, h)
+		if err != nil {
+			return nil, err
+		}
+		node := &NodeItem{Doc: doc, D: d}
+		// Recheck: the fixed-size key prefix is imprecise for long strings.
+		items := []Item{node}
+		var exact bool
+		k2, ok2, err := indexKeyOf(e, node, bySteps, meta.KeyType)
+		if err != nil {
+			return nil, err
+		}
+		exact = ok2 && k2 == key
+		if !exact {
+			continue
+		}
+		if meta.KeyType == "string" {
+			// Verify the full value, not just the prefix.
+			v, err := atomizeByPath(e, node, bySteps)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil || v.StringValue() != value.StringValue() {
+				continue
+			}
+		}
+		out = append(out, items[0])
+	}
+	return out, nil
+}
+
+func atomizeByPath(e *env, node *NodeItem, bySteps []*Step) (*Atomic, error) {
+	items := []Item{node}
+	for _, st := range bySteps {
+		var next []Item
+		for _, it := range items {
+			n, ok := it.(*NodeItem)
+			if !ok {
+				continue
+			}
+			var err error
+			next, err = axisStored(e, n, st.Axis, st.Test, next)
+			if err != nil {
+				return nil, err
+			}
+		}
+		items = next
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	return atomize(e, items[0])
+}
+
+// pathString renders a structural path expression back to source form for
+// catalog persistence.
+func pathString(x Expr) string {
+	var parts []string
+	for cur := x; cur != nil; {
+		switch n := cur.(type) {
+		case *Step:
+			parts = append([]string{stepString(n)}, parts...)
+			cur = n.Input
+		case *DocCall:
+			parts = append([]string{fmt.Sprintf("doc(%q)", n.Name)}, parts...)
+			cur = nil
+		case *Root:
+			cur = nil
+		default:
+			cur = nil
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+func stepString(s *Step) string {
+	var test string
+	switch s.Test.Kind {
+	case TestName:
+		test = s.Test.Name
+	case TestNode:
+		test = "node()"
+	case TestText:
+		test = "text()"
+	case TestComment:
+		test = "comment()"
+	case TestPI:
+		test = "processing-instruction()"
+	case TestElement:
+		test = "element(" + s.Test.Name + ")"
+	case TestAttrTest:
+		test = "attribute(" + s.Test.Name + ")"
+	}
+	switch s.Axis {
+	case AxisChild:
+		return test
+	case AxisAttribute:
+		if s.Test.Kind == TestName || s.Test.Kind == TestAttrTest {
+			return "@" + s.Test.Name
+		}
+		return "attribute::" + test
+	case AxisSelf:
+		return "self::" + test
+	default:
+		return s.Axis.String() + "::" + test
+	}
+}

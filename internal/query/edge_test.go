@@ -1,0 +1,212 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializationEscaping(t *testing.T) {
+	db := testDB(t)
+	upd(t, db, `CREATE DOCUMENT "esc"`)
+	upd(t, db, `UPDATE insert <e a="x">5 &lt; 6 &amp; 7 &gt; 2</e> into doc("esc")`)
+	got := q(t, db, `doc("esc")/e`)
+	if !strings.Contains(got, "5 &lt; 6 &amp; 7") {
+		t.Fatalf("special characters not escaped: %s", got)
+	}
+	// String value is unescaped.
+	got = q(t, db, `string(doc("esc")/e)`)
+	if got != "5 < 6 & 7 > 2" {
+		t.Fatalf("string value = %q", got)
+	}
+}
+
+func TestMultiKeyOrderBy(t *testing.T) {
+	db := testDB(t)
+	got := q(t, db, `
+		for $a in doc("lib")//author
+		let $b := $a/..
+		order by name($b), $a
+		return concat(name($b), ":", string($a), " ")`)
+	// books first (alphabetical by parent name), then paper.
+	if !strings.HasPrefix(got, "book:Abiteboul") {
+		t.Fatalf("order-by result: %s", got)
+	}
+	if !strings.Contains(got, "paper:Codd") {
+		t.Fatalf("paper author lost: %s", got)
+	}
+	if strings.Index(got, "paper:") < strings.Index(got, "book:Vianu") {
+		t.Fatalf("multi-key order wrong: %s", got)
+	}
+}
+
+func TestNestedPredicates(t *testing.T) {
+	db := testDB(t)
+	cases := map[string]string{
+		`doc("lib")/library/book[issue[publisher = "Addison-Wesley"]]/author/text()`: `Date`,
+		`count(doc("lib")/library/book[author][year])`:                               `2`,
+		`doc("lib")/library/book[count(author) = 3]/title/text()`:                    `Foundations of Databases`,
+		`count(doc("lib")//book[not(issue)])`:                                        `1`,
+		`doc("lib")/library/*[title = "A Relational Model for Large Shared Data Banks"]/author/text()`: `Codd`,
+	}
+	for src, want := range cases {
+		if got := q(t, db, src); got != want {
+			t.Errorf("%s\n got: %s\nwant: %s", src, got, want)
+		}
+	}
+}
+
+func TestExplicitAxesWithKindTests(t *testing.T) {
+	db := testDB(t)
+	cases := map[string]string{
+		`count(doc("lib")/library/book[1]/child::text())`:          `0`,
+		`count(doc("lib")/library/book[1]/descendant::text())`:     `5`,
+		`count(doc("lib")/descendant::element(book))`:              `2`,
+		`count(doc("lib")//year/self::year)`:                       `4`,
+		`count(doc("lib")//year/self::book)`:                       `0`,
+		`count(doc("lib")/library/book[2]/issue/child::node())`:    `2`,
+	}
+	for src, want := range cases {
+		if got := q(t, db, src); got != want {
+			t.Errorf("%s\n got: %s\nwant: %s", src, got, want)
+		}
+	}
+}
+
+func TestAttributesInUpdatesAndQueries(t *testing.T) {
+	db := testDB(t)
+	upd(t, db, `UPDATE insert <review stars="5" by="alice"/> into doc("lib")/library/book[1]`)
+	cases := map[string]string{
+		`doc("lib")//review/@stars`:                        `5`,
+		`string(doc("lib")//review/@by)`:                   `alice`,
+		`count(doc("lib")//review[@stars = 5])`:            `1`,
+		`count(doc("lib")//review/attribute::node())`:      `2`,
+		`name(doc("lib")//review/@by)`:                     `by`,
+	}
+	for src, want := range cases {
+		if got := q(t, db, src); got != want {
+			t.Errorf("%s\n got: %s\nwant: %s", src, got, want)
+		}
+	}
+	// Attribute serialization inside the element.
+	got := q(t, db, `doc("lib")//review`)
+	if got != `<review stars="5" by="alice"/>` {
+		t.Fatalf("review = %s", got)
+	}
+}
+
+func TestUpdateWithConstructedAttributeContent(t *testing.T) {
+	db := testDB(t)
+	upd(t, db, `UPDATE insert
+		<edition year="{1990 + 5}" kind="reprint"><note>n</note></edition>
+		into doc("lib")/library/book[1]`)
+	got := q(t, db, `doc("lib")/library/book[1]/edition`)
+	if got != `<edition year="1995" kind="reprint"><note>n</note></edition>` {
+		t.Fatalf("edition = %s", got)
+	}
+}
+
+func TestRenameAttributeFails(t *testing.T) {
+	db := testDB(t)
+	tx, _ := db.Begin()
+	defer tx.Rollback()
+	// Renaming text nodes is rejected.
+	if _, err := Execute(NewExecCtx(tx), `UPDATE rename doc("lib")//title/text() on x`); err == nil {
+		t.Fatal("renaming a text node must fail")
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	db := testDB(t)
+	tx, _ := db.BeginReadOnly()
+	defer tx.Rollback()
+	for _, src := range []string{
+		`1 idiv 0`,
+		`(1,2) + 3`,
+		`doc("lib")/library is doc("lib")//author`, // multi-node identity
+		`sum(doc("lib")//book) + .`,                // no context item
+	} {
+		if _, err := Execute(NewExecCtx(tx), src); err == nil {
+			t.Errorf("%q: expected runtime error", src)
+		}
+	}
+}
+
+func TestEmptySequencePropagation(t *testing.T) {
+	db := testDB(t)
+	cases := map[string]string{
+		`count(doc("lib")//missing + 1)`:        ``, // empty arithmetic → empty... count is 1 of empty? count(()) = 0
+		`1 + count(doc("lib")//missing)`:        `1`,
+		`string(doc("lib")//missing)`:           ``,
+		`count(doc("lib")//missing/text())`:     `0`,
+		`empty(doc("lib")//missing)`:            `true`,
+	}
+	// Fix the first case: count of an empty arithmetic result is 0.
+	cases[`count(doc("lib")//missing + 1)`] = `0`
+	for src, want := range cases {
+		if got := q(t, db, src); got != want {
+			t.Errorf("%s\n got: %q\nwant: %q", src, got, want)
+		}
+	}
+}
+
+func TestDeeplyNestedConstructedResult(t *testing.T) {
+	db := testDB(t)
+	got := q(t, db, `
+		<catalog>{
+		  for $b in doc("lib")/library/book
+		  return <entry>
+		    <heading>{$b/title/text()}</heading>
+		    <people>{for $a in $b/author return <p>{string($a)}</p>}</people>
+		  </entry>
+		}</catalog>`)
+	if !strings.Contains(got, "<people><p>Abiteboul</p><p>Hull</p><p>Vianu</p></people>") {
+		t.Fatalf("nested construction: %s", got)
+	}
+	if strings.Count(got, "<entry>") != 2 {
+		t.Fatalf("entries: %s", got)
+	}
+}
+
+func TestLongTextThroughEngine(t *testing.T) {
+	db := testDB(t)
+	long := strings.Repeat("abcdefghij", 3000) // 30 KB, multiple chunks
+	upd(t, db, `CREATE DOCUMENT "blob"`)
+	upd(t, db, `UPDATE insert <t>`+long+`</t> into doc("blob")`)
+	got := q(t, db, `string-length(doc("blob")/t)`)
+	if got != "30000" {
+		t.Fatalf("length = %s", got)
+	}
+	got = q(t, db, `substring(doc("blob")/t, 29998)`)
+	if got != "hij" {
+		t.Fatalf("tail = %q", got)
+	}
+}
+
+func TestIndexScanAfterReplace(t *testing.T) {
+	db := testDB(t)
+	upd(t, db, `CREATE INDEX "byt" ON doc("lib")/library/book BY title AS string`)
+	upd(t, db, `UPDATE replace $b in doc("lib")/library/book[1]
+	            with <book><title>Renamed Title</title></book>`)
+	if got := q(t, db, `count(index-scan("byt", "Foundations of Databases"))`); got != "0" {
+		t.Fatalf("stale index entry after replace: %s", got)
+	}
+	if got := q(t, db, `index-scan("byt", "Renamed Title")/title/text()`); got != "Renamed Title" {
+		t.Fatalf("new index entry missing: %s", got)
+	}
+}
+
+func TestDistinctValuesAndQuantifiersOverDocs(t *testing.T) {
+	db := testDB(t)
+	cases := map[string]string{
+		`count(distinct-values(doc("lib")//author/text()))`:                    `5`,
+		`some $y in doc("lib")//year satisfies number($y) < 1980`:              `true`,
+		`every $y in doc("lib")//year satisfies number($y) > 1900`:             `true`,
+		`every $b in doc("lib")//book satisfies exists($b/author)`:             `true`,
+		`some $b in doc("lib")//book satisfies count($b/author) > 5`:           `false`,
+	}
+	for src, want := range cases {
+		if got := q(t, db, src); got != want {
+			t.Errorf("%s\n got: %s\nwant: %s", src, got, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sedna/internal/core"
+)
+
+// ExecCtx carries everything one statement execution needs: the engine
+// transaction, the function table, rewriter switches (used by the ablation
+// experiments) and runtime statistics.
+type ExecCtx struct {
+	Tx    *core.Tx
+	Stats ExecStats
+
+	// NoRewrite disables the optimizing rewriter (baseline for E5–E8).
+	NoRewrite bool
+	// NoVirtualCtors disables the virtual-constructor optimisation
+	// (baseline for E9).
+	NoVirtualCtors bool
+
+	// updateStmt is set while executing an update statement so that
+	// document resolution takes exclusive locks up front, avoiding the
+	// classic shared→exclusive upgrade deadlock between two updaters.
+	updateStmt bool
+
+	funcs     map[string]*FuncDecl
+	globalEnv *env // prolog-variable scope, used by function bodies
+	lazyCache map[int][]Item
+	tempOrd   uint64
+}
+
+// NewExecCtx creates an execution context over an engine transaction.
+func NewExecCtx(tx *core.Tx) *ExecCtx {
+	return &ExecCtx{Tx: tx, lazyCache: make(map[int][]Item)}
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Items   []Item // query results
+	Updated int    // nodes affected by an update statement
+	Message string // DDL acknowledgement
+	ctx     *ExecCtx
+}
+
+// Execute parses, analyzes, rewrites and runs one statement. This is the
+// paper's full pipe: parser → static analysis → optimizing rewriter →
+// executor (§5).
+func Execute(ctx *ExecCtx, src string) (*Result, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteStatement(ctx, st)
+}
+
+// ExecuteStatement runs an already-parsed statement (benchmarks reuse
+// parsed trees to isolate execution cost).
+func ExecuteStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
+	if err := Analyze(st); err != nil {
+		return nil, err
+	}
+	if !ctx.NoRewrite {
+		Rewrite(st)
+	}
+	if ctx.NoVirtualCtors {
+		clearVirtualFlags(st)
+	}
+	ctx.funcs = st.Prolog.Funcs
+	if ctx.lazyCache == nil {
+		ctx.lazyCache = make(map[int][]Item)
+	}
+	e := &env{ctx: ctx, r: ctx.Tx.Tx}
+	// Prolog variables bind in order.
+	for _, v := range st.Prolog.Vars {
+		val, err := eval(v.Seq, e, nil)
+		if err != nil {
+			return nil, err
+		}
+		e = e.bind(v.Var, val)
+	}
+	ctx.globalEnv = e
+
+	switch {
+	case st.Query != nil:
+		items, err := eval(st.Query, e, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Items: items, ctx: ctx}, nil
+	case st.Update != nil:
+		ctx.updateStmt = true
+		n, err := execUpdate(st.Update, e)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Updated: n, Message: fmt.Sprintf("update: %d node(s)", n), ctx: ctx}, nil
+	case st.DDL != nil:
+		msg, err := execDDL(st.DDL, e)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: msg, ctx: ctx}, nil
+	default:
+		return nil, fmt.Errorf("query: empty statement")
+	}
+}
+
+// Serialize writes the result sequence to w: nodes as XML, atomic values as
+// their lexical forms, items separated by single spaces (adjacent atomics)
+// or nothing (nodes).
+func (r *Result) Serialize(w io.Writer) error {
+	e := &env{ctx: r.ctx, r: r.ctx.Tx.Tx}
+	prevAtomic := false
+	for _, it := range r.Items {
+		switch x := it.(type) {
+		case *Atomic:
+			if prevAtomic {
+				if _, err := io.WriteString(w, " "); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, x.StringValue()); err != nil {
+				return err
+			}
+			prevAtomic = true
+		case *NodeItem:
+			if err := core.SerializeNode(e.r, x.Doc, x.D, w); err != nil {
+				return err
+			}
+			prevAtomic = false
+		case *TempItem:
+			if err := serializeTemp(e, x.N, w); err != nil {
+				return err
+			}
+			prevAtomic = false
+		}
+	}
+	return nil
+}
+
+// String serializes the result to a string.
+func (r *Result) String() (string, error) {
+	var sb strings.Builder
+	if err := r.Serialize(&sb); err != nil {
+		return "", err
+	}
+	if r.Message != "" && len(r.Items) == 0 {
+		return r.Message, nil
+	}
+	return sb.String(), nil
+}

@@ -1,0 +1,193 @@
+package query
+
+// XUpdate and DDL statement parsing (§3: the parser produces a uniform
+// operation tree for queries, update statements and DDL statements).
+
+func (p *parser) parseUpdate() (*Update, error) {
+	if err := p.expectName("UPDATE"); err != nil {
+		return nil, err
+	}
+	t, err := p.l.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.text {
+	case "insert":
+		src, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		kw, err := p.l.next()
+		if err != nil {
+			return nil, err
+		}
+		var kind UpdateKind
+		switch kw.text {
+		case "into":
+			kind = UpdInsertInto
+		case "preceding":
+			kind = UpdInsertPreceding
+		case "following":
+			kind = UpdInsertFollowing
+		default:
+			return nil, p.l.errf(kw.pos, "expected into/preceding/following, got %q", kw.text)
+		}
+		target, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &Update{Kind: kind, Source: src, Target: target}, nil
+
+	case "delete":
+		target, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &Update{Kind: UpdDelete, Target: target}, nil
+
+	case "replace":
+		v, err := p.l.next()
+		if err != nil {
+			return nil, err
+		}
+		if v.kind != tokVar {
+			return nil, p.l.errf(v.pos, "expected variable after replace")
+		}
+		if err := p.expectName("in"); err != nil {
+			return nil, err
+		}
+		target, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectName("with"); err != nil {
+			return nil, err
+		}
+		src, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		return &Update{Kind: UpdReplace, Var: v.text, Target: target, Source: src}, nil
+
+	case "rename":
+		target, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectName("on"); err != nil {
+			return nil, err
+		}
+		n, err := p.l.next()
+		if err != nil {
+			return nil, err
+		}
+		if n.kind != tokName && n.kind != tokString {
+			return nil, p.l.errf(n.pos, "expected new name")
+		}
+		return &Update{Kind: UpdRename, Target: target, Name: n.text}, nil
+
+	default:
+		return nil, p.l.errf(t.pos, "unknown update statement %q", t.text)
+	}
+}
+
+func (p *parser) parseDDL() (*DDL, error) {
+	verb, err := p.l.next() // CREATE | DROP
+	if err != nil {
+		return nil, err
+	}
+	obj, err := p.l.next() // DOCUMENT | INDEX
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case verb.text == "CREATE" && obj.text == "DOCUMENT":
+		name, err := p.stringArg()
+		if err != nil {
+			return nil, err
+		}
+		return &DDL{Kind: DDLCreateDocument, Name: name}, nil
+	case verb.text == "DROP" && obj.text == "DOCUMENT":
+		name, err := p.stringArg()
+		if err != nil {
+			return nil, err
+		}
+		return &DDL{Kind: DDLDropDocument, Name: name}, nil
+	case verb.text == "DROP" && obj.text == "INDEX":
+		name, err := p.stringArg()
+		if err != nil {
+			return nil, err
+		}
+		return &DDL{Kind: DDLDropIndex, Name: name}, nil
+	case verb.text == "CREATE" && obj.text == "INDEX":
+		name, err := p.stringArg()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectName("ON"); err != nil {
+			return nil, err
+		}
+		onPath, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		doc := findDocCall(onPath)
+		if doc == nil {
+			return nil, p.l.errf(verb.pos, "CREATE INDEX path must start with doc(...)")
+		}
+		if err := p.expectName("BY"); err != nil {
+			return nil, err
+		}
+		byPath, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		asType := "string"
+		if ok, err := p.acceptName("AS"); err != nil {
+			return nil, err
+		} else if ok {
+			t, err := p.l.next()
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "string", "xs:string":
+				asType = "string"
+			case "number", "xs:double", "xs:decimal", "xs:integer":
+				asType = "number"
+			default:
+				return nil, p.l.errf(t.pos, "unsupported index type %q", t.text)
+			}
+		}
+		return &DDL{Kind: DDLCreateIndex, Name: name, DocName: doc.Name, OnPath: onPath, ByPath: byPath, AsType: asType}, nil
+	default:
+		return nil, p.l.errf(verb.pos, "unknown DDL statement %s %s", verb.text, obj.text)
+	}
+}
+
+func (p *parser) stringArg() (string, error) {
+	t, err := p.l.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokString {
+		return "", p.l.errf(t.pos, "expected string literal, got %q", t.text)
+	}
+	return t.text, nil
+}
+
+// findDocCall locates the DocCall at the head of a path expression.
+func findDocCall(e Expr) *DocCall {
+	for {
+		switch x := e.(type) {
+		case *DocCall:
+			return x
+		case *Step:
+			e = x.Input
+		case *Filter:
+			e = x.Input
+		default:
+			return nil
+		}
+	}
+}

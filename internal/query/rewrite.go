@@ -1,0 +1,556 @@
+package query
+
+// The optimizing rewriter (§5.1): rule-based transformations over the
+// operation tree, applied in four passes.
+//
+//  1. Combining the abbreviated descendant-or-self step with the next step
+//     when its predicates are position-independent (§5.1.2).
+//  2. Removing unnecessary DDO operations by inferring, for every
+//     operation, whether its result is already in distinct document order,
+//     has at most one item, or consists of nodes on a common tree level
+//     (§5.1.1).
+//  3. Marking invariant nested for-clause binding sequences lazy (§5.1.3).
+//  4. Extracting structural location-path fragments for schema-level
+//     execution (§5.1.4).
+//
+// A fifth pass marks element constructors whose content is only serialized
+// as virtual (§5.2.1).
+
+// Rewrite applies all passes to a statement in place.
+func Rewrite(st *Statement) {
+	rw := &rewriter{nextCache: 1}
+	exprs := st.exprs()
+	for _, fd := range st.Prolog.Funcs {
+		fd.Body = rw.rewriteExpr(fd.Body)
+	}
+	for i, e := range exprs {
+		if e != nil {
+			*exprs[i] = rw.rewriteExpr(*exprs[i])
+			_ = i
+		}
+	}
+	// Virtual-constructor marking: only result-position constructors.
+	if st.Query != nil {
+		markVirtual(st.Query, true)
+	}
+	if st.Update != nil && st.Update.Source != nil {
+		// Inserted content is materialized into the database anyway; the
+		// copy is unavoidable, so no virtual marking.
+		markVirtual(st.Update.Source, false)
+	}
+}
+
+// exprs returns pointers to every top-level expression of the statement.
+func (st *Statement) exprs() []*Expr {
+	var out []*Expr
+	for _, v := range st.Prolog.Vars {
+		out = append(out, &v.Seq)
+	}
+	switch {
+	case st.Query != nil:
+		out = append(out, &st.Query)
+	case st.Update != nil:
+		out = append(out, &st.Update.Target)
+		if st.Update.Source != nil {
+			out = append(out, &st.Update.Source)
+		}
+	case st.DDL != nil:
+		if st.DDL.OnPath != nil {
+			out = append(out, &st.DDL.OnPath)
+		}
+	}
+	return out
+}
+
+type rewriter struct {
+	nextCache int
+	// iterVars tracks enclosing for-iteration variables for the laziness
+	// pass.
+	iterVars []string
+	// singleVars tracks variables known to be bound to single items (for
+	// and quantifier bindings), for the DDO property inference.
+	singleVars map[string]int
+}
+
+func (rw *rewriter) pushSingle(name string) {
+	if rw.singleVars == nil {
+		rw.singleVars = make(map[string]int)
+	}
+	rw.singleVars[name]++
+}
+
+func (rw *rewriter) popSingle(name string) {
+	rw.singleVars[name]--
+	if rw.singleVars[name] <= 0 {
+		delete(rw.singleVars, name)
+	}
+}
+
+// rewriteExpr applies passes 1–4 bottom-up.
+func (rw *rewriter) rewriteExpr(x Expr) Expr {
+	switch n := x.(type) {
+	case *Step:
+		if n.Input != nil {
+			n.Input = rw.rewriteExpr(n.Input)
+		}
+		for i := range n.Preds {
+			n.Preds[i] = rw.rewriteExpr(n.Preds[i])
+		}
+		// Pass 1: //-combining. descendant-or-self::node()/child::X →
+		// descendant::X when X's predicates are position-independent
+		// (//para[1] ≠ /descendant::para[1], the paper's counter-example).
+		if in, ok := n.Input.(*Step); ok &&
+			in.Axis == AxisDescendantOrSelf && in.Test.Kind == TestNode && len(in.Preds) == 0 &&
+			n.Axis == AxisChild && predsPositionFree(n.Preds) {
+			n.Axis = AxisDescendant
+			n.Input = in.Input
+		}
+		// Pass 2: DDO elimination.
+		if n.NeedDDO {
+			p := rw.props(n, true)
+			if (p.ordered && p.distinct) || p.single {
+				n.NeedDDO = false
+			}
+		}
+		// Pass 4: structural extraction (the last step of a structural
+		// chain evaluates over the schema).
+		if doc, _ := structuralChain(n); doc != nil {
+			n.Structural = true
+			n.NeedDDO = false
+		}
+		return n
+
+	case *Filter:
+		n.Input = rw.rewriteExpr(n.Input)
+		for i := range n.Preds {
+			n.Preds[i] = rw.rewriteExpr(n.Preds[i])
+		}
+		return n
+
+	case *Sequence:
+		for i := range n.Items {
+			n.Items[i] = rw.rewriteExpr(n.Items[i])
+		}
+		return n
+
+	case *Binary:
+		n.Left = rw.rewriteExpr(n.Left)
+		n.Right = rw.rewriteExpr(n.Right)
+		return n
+
+	case *Unary:
+		n.X = rw.rewriteExpr(n.X)
+		return n
+
+	case *IfExpr:
+		n.Cond = rw.rewriteExpr(n.Cond)
+		n.Then = rw.rewriteExpr(n.Then)
+		n.Else = rw.rewriteExpr(n.Else)
+		return n
+
+	case *Quantified:
+		n.Seq = rw.rewriteExpr(n.Seq)
+		rw.pushSingle(n.Var)
+		n.Pred = rw.rewriteExpr(n.Pred)
+		rw.popSingle(n.Var)
+		return n
+
+	case *FLWOR:
+		for _, cl := range n.Clauses {
+			cl.Seq = rw.rewriteExpr(cl.Seq)
+			// Pass 3: a for-clause binding sequence nested under an outer
+			// for-iteration that references no variables at all is
+			// invariant: evaluate once, reuse across iterations.
+			if !cl.Let && len(rw.iterVars) > 0 && exprIsInvariant(cl.Seq) {
+				cl.Lazy = true
+				cl.CacheID = rw.nextCache
+				rw.nextCache++
+			}
+			if !cl.Let {
+				rw.iterVars = append(rw.iterVars, cl.Var)
+				rw.pushSingle(cl.Var)
+				if cl.PosVar != "" {
+					rw.pushSingle(cl.PosVar)
+				}
+			}
+		}
+		if n.Where != nil {
+			n.Where = rw.rewriteExpr(n.Where)
+		}
+		for i := range n.OrderBy {
+			n.OrderBy[i].Key = rw.rewriteExpr(n.OrderBy[i].Key)
+		}
+		n.Return = rw.rewriteExpr(n.Return)
+		// Pop this FLWOR's iteration variables.
+		for _, cl := range n.Clauses {
+			if !cl.Let {
+				rw.iterVars = rw.iterVars[:len(rw.iterVars)-1]
+				rw.popSingle(cl.Var)
+				if cl.PosVar != "" {
+					rw.popSingle(cl.PosVar)
+				}
+			}
+		}
+		return n
+
+	case *FuncCall:
+		for i := range n.Args {
+			n.Args[i] = rw.rewriteExpr(n.Args[i])
+		}
+		return n
+
+	case *ElementCtor:
+		for _, a := range n.Attrs {
+			for i := range a.Value {
+				a.Value[i] = rw.rewriteExpr(a.Value[i])
+			}
+		}
+		for i := range n.Content {
+			n.Content[i] = rw.rewriteExpr(n.Content[i])
+		}
+		return n
+
+	case *TextCtor:
+		n.Content = rw.rewriteExpr(n.Content)
+		return n
+
+	case *CommentCtor:
+		n.Content = rw.rewriteExpr(n.Content)
+		return n
+
+	default:
+		return x
+	}
+}
+
+// exprIsInvariant reports whether an expression references no variables and
+// no context item, so its value cannot change across iterations.
+func exprIsInvariant(x Expr) bool {
+	fv := make(map[string]bool)
+	freeVars(x, map[string]bool{}, fv)
+	if len(fv) > 0 {
+		return false
+	}
+	return !usesContext(x)
+}
+
+func usesContext(x Expr) bool {
+	found := false
+	walkExpr(x, func(e Expr) {
+		switch e.(type) {
+		case *ContextItem, *Root:
+			found = true
+		case *Step:
+			if e.(*Step).Input == nil {
+				found = true
+			}
+		case *FuncCall:
+			n := e.(*FuncCall).Name
+			if n == "position" || n == "last" {
+				found = true
+			}
+			if fc := e.(*FuncCall); len(fc.Args) == 0 {
+				switch n {
+				case "string", "number", "name", "local-name", "string-length",
+					"normalize-space", "root", "text", "node-kind":
+					found = true // defaults to the context item
+				}
+			}
+		}
+	})
+	return found
+}
+
+// predsPositionFree reports whether predicates depend neither explicitly
+// nor implicitly on context position or size — the §5.1.2 safety condition
+// for combining // with the next step.
+func predsPositionFree(preds []Expr) bool {
+	for _, p := range preds {
+		// A predicate whose value may be numeric acts positionally.
+		if mayBeNumeric(p) {
+			return false
+		}
+		posDep := false
+		walkExpr(p, func(e Expr) {
+			if fc, ok := e.(*FuncCall); ok && (fc.Name == "position" || fc.Name == "last" ||
+				fc.Name == "fn:position" || fc.Name == "fn:last") {
+				posDep = true
+			}
+		})
+		if posDep {
+			return false
+		}
+	}
+	return true
+}
+
+// mayBeNumeric conservatively reports whether an expression can evaluate to
+// a numeric value (making a predicate positional).
+func mayBeNumeric(x Expr) bool {
+	switch n := x.(type) {
+	case *Literal:
+		return !n.IsString
+	case *Binary:
+		switch n.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpIDiv, OpMod, OpTo:
+			return true
+		default:
+			return false // comparisons and logic yield booleans
+		}
+	case *Unary:
+		return true
+	case *FuncCall:
+		switch n.Name {
+		case "not", "exists", "empty", "boolean", "contains", "starts-with",
+			"ends-with", "true", "false":
+			return false
+		case "string", "concat", "string-join", "normalize-space", "substring",
+			"upper-case", "lower-case", "name", "local-name":
+			return false
+		default:
+			return true // count(), sum(), user functions, …
+		}
+	case *Step, *Filter, *DocCall, *Root, *ContextItem, *VarRef:
+		// Node sequences and variables: variables may hold numbers, so be
+		// conservative for VarRef only.
+		_, isVar := x.(*VarRef)
+		return isVar
+	case *Quantified:
+		return false
+	case *IfExpr:
+		return mayBeNumeric(n.Then) || mayBeNumeric(n.Else)
+	default:
+		return true
+	}
+}
+
+// walkExpr visits every node of an expression tree.
+func walkExpr(x Expr, visit func(Expr)) {
+	if x == nil {
+		return
+	}
+	visit(x)
+	switch n := x.(type) {
+	case *Step:
+		walkExpr(n.Input, visit)
+		for _, p := range n.Preds {
+			walkExpr(p, visit)
+		}
+	case *Filter:
+		walkExpr(n.Input, visit)
+		for _, p := range n.Preds {
+			walkExpr(p, visit)
+		}
+	case *Sequence:
+		for _, it := range n.Items {
+			walkExpr(it, visit)
+		}
+	case *Binary:
+		walkExpr(n.Left, visit)
+		walkExpr(n.Right, visit)
+	case *Unary:
+		walkExpr(n.X, visit)
+	case *IfExpr:
+		walkExpr(n.Cond, visit)
+		walkExpr(n.Then, visit)
+		walkExpr(n.Else, visit)
+	case *Quantified:
+		walkExpr(n.Seq, visit)
+		walkExpr(n.Pred, visit)
+	case *FLWOR:
+		for _, cl := range n.Clauses {
+			walkExpr(cl.Seq, visit)
+		}
+		walkExpr(n.Where, visit)
+		for _, o := range n.OrderBy {
+			walkExpr(o.Key, visit)
+		}
+		walkExpr(n.Return, visit)
+	case *FuncCall:
+		for _, a := range n.Args {
+			walkExpr(a, visit)
+		}
+	case *ElementCtor:
+		for _, a := range n.Attrs {
+			for _, v := range a.Value {
+				walkExpr(v, visit)
+			}
+		}
+		for _, c := range n.Content {
+			walkExpr(c, visit)
+		}
+	case *TextCtor:
+		walkExpr(n.Content, visit)
+	case *CommentCtor:
+		walkExpr(n.Content, visit)
+	}
+}
+
+// seqProps are the properties §5.1.1 infers for every operation's result.
+type seqProps struct {
+	ordered   bool // already in document order
+	distinct  bool // no duplicate nodes
+	single    bool // at most one item
+	sameLevel bool // all nodes on a common level of one XML tree
+}
+
+// props infers the result properties of an expression. For a Step,
+// beforeDDO selects the properties of the raw axis concatenation (used to
+// decide whether the DDO is redundant).
+func (rw *rewriter) props(x Expr, beforeDDO bool) seqProps {
+	switch n := x.(type) {
+	case *DocCall, *Root, *ContextItem:
+		return seqProps{ordered: true, distinct: true, single: true, sameLevel: true}
+	case *VarRef:
+		if rw.singleVars[n.Name] > 0 {
+			return seqProps{ordered: true, distinct: true, single: true, sameLevel: true}
+		}
+		return seqProps{}
+	case *Literal:
+		return seqProps{ordered: true, distinct: true, single: true}
+	case *Filter:
+		return rw.props(n.Input, false)
+	case *Step:
+		var in seqProps
+		if n.Input == nil {
+			in = seqProps{ordered: true, distinct: true, single: true, sameLevel: true}
+		} else {
+			in = rw.props(n.Input, false)
+		}
+		var out seqProps
+		switch n.Axis {
+		case AxisSelf:
+			out = in
+		case AxisChild, AxisAttribute:
+			if in.ordered && in.distinct && in.sameLevel {
+				out = seqProps{ordered: true, distinct: true, sameLevel: true}
+			}
+			if in.single {
+				out.ordered, out.distinct, out.sameLevel = true, true, true
+			}
+		case AxisDescendant, AxisDescendantOrSelf:
+			if in.ordered && in.distinct && in.sameLevel {
+				out = seqProps{ordered: true, distinct: true}
+			}
+			if in.single {
+				out.ordered, out.distinct = true, true
+			}
+		case AxisParent:
+			if in.single {
+				out = seqProps{ordered: true, distinct: true, single: true, sameLevel: true}
+			}
+		case AxisFollowingSibling, AxisPrecedingSibling:
+			if in.single {
+				out = seqProps{ordered: true, distinct: true, sameLevel: true}
+			}
+		case AxisAncestor, AxisAncestorOrSelf:
+			if in.single {
+				out = seqProps{ordered: true, distinct: true}
+			}
+		}
+		if !beforeDDO && n.NeedDDO {
+			out.ordered, out.distinct = true, true
+		}
+		return out
+	case *Sequence:
+		if len(n.Items) == 1 {
+			return rw.props(n.Items[0], false)
+		}
+		return seqProps{}
+	case *ElementCtor, *TextCtor, *CommentCtor:
+		return seqProps{ordered: true, distinct: true, single: true, sameLevel: true}
+	default:
+		return seqProps{}
+	}
+}
+
+// markVirtual implements the §5.2.1 analysis: constructors whose results
+// only flow to serialization positions keep references instead of deep
+// copies. safe propagates "this expression's value is only serialized".
+func markVirtual(x Expr, safe bool) {
+	switch n := x.(type) {
+	case *ElementCtor:
+		n.Virtual = safe
+		for _, a := range n.Attrs {
+			for _, v := range a.Value {
+				markVirtual(v, false) // attribute values are atomized anyway
+			}
+		}
+		for _, c := range n.Content {
+			// Content of a serialized constructor is itself only
+			// serialized.
+			markVirtual(c, safe)
+		}
+	case *TextCtor:
+		markVirtual(n.Content, false)
+	case *CommentCtor:
+		markVirtual(n.Content, false)
+	case *Sequence:
+		for _, it := range n.Items {
+			markVirtual(it, safe)
+		}
+	case *IfExpr:
+		markVirtual(n.Cond, false)
+		markVirtual(n.Then, safe)
+		markVirtual(n.Else, safe)
+	case *FLWOR:
+		for _, cl := range n.Clauses {
+			markVirtual(cl.Seq, false)
+		}
+		markVirtual(n.Where, false)
+		for _, o := range n.OrderBy {
+			markVirtual(o.Key, false)
+		}
+		markVirtual(n.Return, safe)
+	case *Step:
+		markVirtual(n.Input, false)
+		for _, p := range n.Preds {
+			markVirtual(p, false)
+		}
+	case *Filter:
+		markVirtual(n.Input, false)
+		for _, p := range n.Preds {
+			markVirtual(p, false)
+		}
+	case *Binary:
+		markVirtual(n.Left, false)
+		markVirtual(n.Right, false)
+	case *Unary:
+		markVirtual(n.X, false)
+	case *Quantified:
+		markVirtual(n.Seq, false)
+		markVirtual(n.Pred, false)
+	case *FuncCall:
+		for _, a := range n.Args {
+			markVirtual(a, false)
+		}
+	case nil:
+	}
+}
+
+// clearVirtualFlags forces deep-copy semantics everywhere (the E9
+// baseline).
+func clearVirtualFlags(st *Statement) {
+	clear := func(e Expr) {
+		walkExpr(e, func(x Expr) {
+			if c, ok := x.(*ElementCtor); ok {
+				c.Virtual = false
+			}
+		})
+	}
+	for _, fd := range st.Prolog.Funcs {
+		clear(fd.Body)
+	}
+	for _, pv := range st.Prolog.Vars {
+		clear(pv.Seq)
+	}
+	if st.Query != nil {
+		clear(st.Query)
+	}
+	if st.Update != nil {
+		clear(st.Update.Target)
+		if st.Update.Source != nil {
+			clear(st.Update.Source)
+		}
+	}
+}

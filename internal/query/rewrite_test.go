@@ -1,0 +1,271 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+func rewritten(t *testing.T, src string) *Statement {
+	t.Helper()
+	st := mustParse(t, src)
+	if err := Analyze(st); err != nil {
+		t.Fatal(err)
+	}
+	Rewrite(st)
+	return st
+}
+
+func findSteps(e Expr) []*Step {
+	var out []*Step
+	walkExpr(e, func(x Expr) {
+		if s, ok := x.(*Step); ok {
+			out = append(out, s)
+		}
+	})
+	return out
+}
+
+func TestRewriteCombinesDescendantOrSelf(t *testing.T) {
+	st := rewritten(t, `doc("lib")//para`)
+	steps := findSteps(st.Query)
+	// The dos::node() step must be gone, folded into descendant::para.
+	for _, s := range steps {
+		if s.Axis == AxisDescendantOrSelf {
+			t.Fatal("descendant-or-self step not combined")
+		}
+	}
+	top := st.Query.(*Step)
+	if top.Axis != AxisDescendant || top.Test.Name != "para" {
+		t.Fatalf("combined step = %+v", top)
+	}
+}
+
+func TestRewriteKeepsDosForPositionalPredicate(t *testing.T) {
+	// The paper's counter-example: //para[1] ≠ /descendant::para[1].
+	for _, src := range []string{
+		`doc("lib")//para[1]`,
+		`doc("lib")//para[position() = 2]`,
+		`doc("lib")//para[last()]`,
+		`doc("lib")//para[count(x)]`,
+	} {
+		st := rewritten(t, src)
+		found := false
+		for _, s := range findSteps(st.Query) {
+			if s.Axis == AxisDescendantOrSelf {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: dos step combined despite positional predicate", src)
+		}
+	}
+}
+
+func TestRewriteCombinesWithSafePredicate(t *testing.T) {
+	st := rewritten(t, `doc("lib")//para[@type = "x"]`)
+	for _, s := range findSteps(st.Query) {
+		if s.Axis == AxisDescendantOrSelf {
+			t.Fatal("dos not combined despite position-free predicate")
+		}
+	}
+}
+
+func TestRewriteRemovesDDOOnStructuralChains(t *testing.T) {
+	st := rewritten(t, `doc("lib")/library/book/title`)
+	top := st.Query.(*Step)
+	if top.NeedDDO {
+		t.Fatal("DDO not removed on a child chain from doc()")
+	}
+	if !top.Structural {
+		t.Fatal("structural path not marked")
+	}
+}
+
+func TestRewriteKeepsDDOAfterParentStep(t *testing.T) {
+	st := rewritten(t, `doc("lib")//author/../title`)
+	steps := findSteps(st.Query)
+	// The step after ".." (child::title over parent results) must keep its
+	// DDO: parents of many authors contain duplicates.
+	var parentStep *Step
+	for _, s := range steps {
+		if s.Axis == AxisParent {
+			parentStep = s
+		}
+	}
+	if parentStep == nil {
+		t.Fatal("parent step missing")
+	}
+	if !parentStep.NeedDDO {
+		t.Fatal("parent step from multi-node input must keep DDO")
+	}
+}
+
+func TestRewriteVariablePathsKeepDDO(t *testing.T) {
+	st := rewritten(t, `for $x in doc("lib")//a return $x/b/c`)
+	f := st.Query.(*FLWOR)
+	ret := f.Return.(*Step)
+	// $x is a single item binding: steps from it are provably ordered.
+	if ret.NeedDDO {
+		t.Fatal("steps from a for-variable (singleton) should not need DDO")
+	}
+}
+
+func TestRewriteMarksLazyInvariantForClause(t *testing.T) {
+	st := rewritten(t, `
+		for $x in doc("lib")//a
+		for $y in doc("lib")//b
+		return ($x, $y)`)
+	f := st.Query.(*FLWOR)
+	if f.Clauses[0].Lazy {
+		t.Fatal("outer clause must not be lazy (not nested)")
+	}
+	if !f.Clauses[1].Lazy {
+		t.Fatal("invariant inner clause must be lazy")
+	}
+}
+
+func TestRewriteDependentClauseNotLazy(t *testing.T) {
+	st := rewritten(t, `
+		for $x in doc("lib")//a
+		for $y in $x/b
+		return $y`)
+	f := st.Query.(*FLWOR)
+	if f.Clauses[1].Lazy {
+		t.Fatal("clause depending on $x must not be lazy")
+	}
+}
+
+func TestRewriteNestedFLWORLazy(t *testing.T) {
+	st := rewritten(t, `
+		for $x in doc("lib")//a
+		return for $y in doc("lib")//b return $y`)
+	outer := st.Query.(*FLWOR)
+	inner := outer.Return.(*FLWOR)
+	if !inner.Clauses[0].Lazy {
+		t.Fatal("invariant inner FLWOR clause must be lazy")
+	}
+}
+
+func TestRewriteStructuralMarking(t *testing.T) {
+	cases := map[string]bool{
+		`doc("lib")/library/book`:     true,
+		`doc("lib")//author`:          true, // after //-combining
+		`doc("lib")/library/book/@id`: true,
+		`doc("lib")/library/book[1]`:  false, // predicate
+		`doc("lib")//para[1]`:         false,
+	}
+	for src, want := range cases {
+		st := rewritten(t, src)
+		top, ok := st.Query.(*Step)
+		if !ok {
+			t.Fatalf("%s: not a step", src)
+		}
+		if top.Structural != want {
+			t.Errorf("%s: Structural = %v, want %v", src, top.Structural, want)
+		}
+	}
+}
+
+func TestRewriteVirtualConstructorMarking(t *testing.T) {
+	// Result-position constructor: virtual.
+	st := rewritten(t, `<r>{doc("lib")//a}</r>`)
+	if !st.Query.(*ElementCtor).Virtual {
+		t.Fatal("result constructor should be virtual")
+	}
+
+	// Constructor that is navigated: not virtual.
+	st = rewritten(t, `count((<r>{doc("lib")//a}</r>)/a)`)
+	virtual := false
+	walkExpr(st.Query, func(x Expr) {
+		if c, ok := x.(*ElementCtor); ok && c.Virtual {
+			virtual = true
+		}
+	})
+	if virtual {
+		t.Fatal("navigated constructor must not be virtual")
+	}
+
+	// Nested constructors in result position: all virtual.
+	st = rewritten(t, `<a><b>{doc("lib")//x}</b></a>`)
+	count := 0
+	walkExpr(st.Query, func(x Expr) {
+		if c, ok := x.(*ElementCtor); ok && c.Virtual {
+			count++
+		}
+	})
+	if count != 2 {
+		t.Fatalf("virtual constructors = %d, want 2", count)
+	}
+
+	// FLWOR return position: virtual.
+	st = rewritten(t, `for $x in doc("lib")//a return <r>{$x}</r>`)
+	f := st.Query.(*FLWOR)
+	if !f.Return.(*ElementCtor).Virtual {
+		t.Fatal("FLWOR-return constructor should be virtual")
+	}
+
+	// Variable-bound constructor: not virtual (may be navigated later).
+	st = rewritten(t, `for $r in (<x>{doc("lib")//a}</x>) return $r`)
+	walkExpr(st.Query, func(x Expr) {
+		if c, ok := x.(*ElementCtor); ok && c.Virtual {
+			t.Fatal("variable-bound constructor must not be virtual")
+		}
+	})
+}
+
+func TestRewriteOffSwitch(t *testing.T) {
+	// With NoRewrite the executor must still produce correct results; this
+	// is the ablation baseline used by the E5–E8 experiments.
+	db := testDB(t)
+	tx, _ := db.BeginReadOnly()
+	defer tx.Rollback()
+	ctx := NewExecCtx(tx)
+	ctx.NoRewrite = true
+	res, err := Execute(ctx, `count(doc("lib")//author)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := res.String()
+	if s != "5" {
+		t.Fatalf("unrewritten query result: %s", s)
+	}
+	if ctx.Stats.DDOOps == 0 {
+		t.Fatal("unrewritten plan should execute explicit DDO operations")
+	}
+}
+
+func TestRewrittenAndNaiveAgree(t *testing.T) {
+	db := testDB(t)
+	queries := []string{
+		`count(doc("lib")//author)`,
+		`data(doc("lib")//year)`,
+		`doc("lib")//book/title/text()`,
+		`count(doc("lib")/library/book/author/..)`,
+		`for $b in doc("lib")/library/book for $a in doc("lib")//author return 1`,
+		`string-join(for $t in doc("lib")//title return string($t), ";")`,
+	}
+	for _, src := range queries {
+		tx, _ := db.BeginReadOnly()
+		opt := NewExecCtx(tx)
+		r1, err := Execute(opt, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, _ := r1.String()
+		naive := NewExecCtx(tx)
+		naive.NoRewrite = true
+		r2, err := Execute(naive, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, _ := r2.String()
+		tx.Rollback()
+		if s1 != s2 {
+			t.Errorf("%s:\nrewritten: %s\nnaive:     %s", src, s1, s2)
+		}
+		if !strings.Contains(src, "..") && naive.Stats.DDOOps < opt.Stats.DDOOps {
+			t.Errorf("%s: naive executed fewer DDO ops (%d) than optimized (%d)",
+				src, naive.Stats.DDOOps, opt.Stats.DDOOps)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package query
+
+import (
+	"fmt"
+
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+)
+
+// Structural location paths (§5.1.4): a path that starts from a document
+// node and contains only descending axes and no predicates is resolved
+// entirely over the descriptive schema in main memory; execution then just
+// scans the block lists of the resulting schema nodes, which are already in
+// document order.
+
+// structuralChain decomposes a step chain down to its DocCall head. It
+// returns nil when the chain is not structural.
+func structuralChain(s *Step) (*DocCall, []*Step) {
+	var steps []*Step
+	cur := s
+	for {
+		if len(cur.Preds) > 0 {
+			return nil, nil
+		}
+		switch cur.Axis {
+		case AxisChild, AxisDescendant, AxisDescendantOrSelf, AxisAttribute, AxisSelf:
+		default:
+			return nil, nil
+		}
+		steps = append(steps, cur)
+		switch in := cur.Input.(type) {
+		case *DocCall:
+			// Reverse into evaluation order.
+			for i, j := 0, len(steps)-1; i < j; i, j = i+1, j-1 {
+				steps[i], steps[j] = steps[j], steps[i]
+			}
+			return in, steps
+		case *Step:
+			cur = in
+		default:
+			return nil, nil
+		}
+	}
+}
+
+// resolveStructural maps the step chain onto the descriptive schema,
+// returning the set of schema nodes the path denotes.
+func resolveStructural(root *schema.Node, steps []*Step) []*schema.Node {
+	cur := map[*schema.Node]bool{root: true}
+	for _, st := range steps {
+		next := make(map[*schema.Node]bool)
+		for sn := range cur {
+			switch st.Axis {
+			case AxisSelf:
+				if matchesSchema(sn, st.Test) {
+					next[sn] = true
+				}
+			case AxisChild:
+				for _, c := range sn.Children {
+					if c.Kind != schema.KindAttribute && matchesSchema(c, st.Test) {
+						next[c] = true
+					}
+				}
+			case AxisAttribute:
+				for _, c := range sn.Children {
+					if c.Kind == schema.KindAttribute && matchesSchema(c, attributeTest(st.Test)) {
+						next[c] = true
+					}
+				}
+			case AxisDescendant, AxisDescendantOrSelf:
+				if st.Axis == AxisDescendantOrSelf && matchesSchema(sn, st.Test) {
+					next[sn] = true
+				}
+				for _, d := range sn.Descendants(func(c *schema.Node) bool {
+					return c.Kind != schema.KindAttribute && matchesSchema(c, st.Test)
+				}) {
+					next[d] = true
+				}
+			}
+		}
+		cur = next
+	}
+	out := make([]*schema.Node, 0, len(cur))
+	for sn := range cur {
+		out = append(out, sn)
+	}
+	return out
+}
+
+// evalStructural executes a structural step chain: schema resolution in
+// memory, then direct block-list scans merged by document order.
+func evalStructural(s *Step, e *env, f *focus) ([]Item, error) {
+	docCall, steps := structuralChain(s)
+	if docCall == nil {
+		return nil, fmt.Errorf("query: step marked structural is not a structural path")
+	}
+	docItems, err := evalDoc(e, docCall.Name)
+	if err != nil {
+		return nil, err
+	}
+	docNode := docItems[0].(*NodeItem)
+	doc := docNode.Doc
+	targets := resolveStructural(doc.Schema.Root, steps)
+	if len(targets) == 0 {
+		return nil, nil
+	}
+	if len(targets) == 1 {
+		// Single schema node: its list already is the answer in document
+		// order — no per-node work at all.
+		e.ctx.Stats.SchemaScans++
+		var out []Item
+		err := storage.ScanSchema(e.r, targets[0], func(d storage.Desc) (bool, error) {
+			out = append(out, &NodeItem{Doc: doc, D: d})
+			return true, nil
+		})
+		return out, err
+	}
+	streams := make([]*rangeScan, 0, len(targets))
+	for _, sn := range targets {
+		rs, err := newRangeScan(e, doc, sn, docNode.D.Label)
+		if err != nil {
+			return nil, err
+		}
+		if rs != nil {
+			streams = append(streams, rs)
+		}
+	}
+	return mergeStreams(e, doc, streams, nil)
+}

@@ -1,0 +1,299 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"sedna/internal/index"
+	"sedna/internal/lock"
+	"sedna/internal/sas"
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+)
+
+// execUpdate runs an XUpdate statement: the first (query) part selects the
+// target nodes, the second applies the modification (§5.2). Targets are
+// referred to by node handles since descriptor addresses can move during
+// the update — exactly the split the paper describes.
+func execUpdate(u *Update, e *env) (int, error) {
+	if e.ctx.Tx.ReadOnly() {
+		return 0, fmt.Errorf("query: update statement in a read-only transaction")
+	}
+	targets, err := eval(u.Target, e, nil)
+	if err != nil {
+		return 0, err
+	}
+	if len(targets) == 0 {
+		return 0, nil
+	}
+	// All targets must be stored nodes; lock their documents exclusively.
+	nodes := make([]*NodeItem, 0, len(targets))
+	for _, it := range targets {
+		n, ok := it.(*NodeItem)
+		if !ok {
+			return 0, fmt.Errorf("query: update target is not a stored node")
+		}
+		if err := e.ctx.Tx.LockDocument(n.Doc.Name, lock.Exclusive); err != nil {
+			return 0, err
+		}
+		nodes = append(nodes, n)
+	}
+
+	switch u.Kind {
+	case UpdInsertInto, UpdInsertPreceding, UpdInsertFollowing:
+		count := 0
+		for _, n := range nodes {
+			src, err := eval(u.Source, e, &focus{item: n, pos: 1, size: 1})
+			if err != nil {
+				return count, err
+			}
+			if err := insertItems(e, n, u.Kind, src); err != nil {
+				return count, err
+			}
+			count++
+		}
+		return count, nil
+
+	case UpdDelete:
+		return deleteNodes(e, nodes)
+
+	case UpdReplace:
+		count := 0
+		for _, n := range nodes {
+			// Re-resolve: previous iterations may have moved descriptors.
+			d, err := storage.DescOf(e.r, n.D.Handle)
+			if err != nil {
+				return count, err
+			}
+			cur := &NodeItem{Doc: n.Doc, D: d}
+			src, err := eval(u.Source, e.bind(u.Var, []Item{cur}), nil)
+			if err != nil {
+				return count, err
+			}
+			if err := insertItems(e, cur, UpdInsertFollowing, src); err != nil {
+				return count, err
+			}
+			if _, err := deleteNodes(e, []*NodeItem{cur}); err != nil {
+				return count, err
+			}
+			count++
+		}
+		return count, nil
+
+	case UpdRename:
+		count := 0
+		for _, n := range nodes {
+			d, err := storage.DescOf(e.r, n.D.Handle)
+			if err != nil {
+				return count, err
+			}
+			cur := &NodeItem{Doc: n.Doc, D: d}
+			sn := cur.Doc.Schema.ByID(cur.D.SchemaID)
+			if sn.Kind != schema.KindElement && sn.Kind != schema.KindAttribute {
+				return count, fmt.Errorf("query: rename of a %v node", sn.Kind)
+			}
+			// Rename re-clusters the subtree under the new name's schema
+			// node: copy with the new name, then delete the original.
+			cp, err := deepCopyStored(e, cur)
+			if err != nil {
+				return count, err
+			}
+			cp.Name = u.Name
+			if err := insertTempAt(e, cur, UpdInsertFollowing, cp); err != nil {
+				return count, err
+			}
+			if _, err := deleteNodes(e, []*NodeItem{cur}); err != nil {
+				return count, err
+			}
+			count++
+		}
+		return count, nil
+
+	default:
+		return 0, fmt.Errorf("query: unknown update kind %d", u.Kind)
+	}
+}
+
+// insertItems inserts evaluated source items relative to the target node.
+func insertItems(e *env, target *NodeItem, kind UpdateKind, src []Item) error {
+	for _, it := range src {
+		var t *TempNode
+		switch x := it.(type) {
+		case *TempItem:
+			t = x.N
+		case *NodeItem:
+			cp, err := deepCopyStored(e, x)
+			if err != nil {
+				return err
+			}
+			t = cp
+		case *Atomic:
+			t = e.ctx.newTempNode(schema.KindText, "")
+			t.Text = x.StringValue()
+		}
+		if err := insertTempAt(e, target, kind, t); err != nil {
+			return err
+		}
+		// Subsequent siblings insert after the one just inserted when the
+		// position is "following"/"into"; re-resolve the target descriptor
+		// in case it moved.
+		d, err := storage.DescOf(e.r, target.D.Handle)
+		if err != nil {
+			return err
+		}
+		target = &NodeItem{Doc: target.Doc, D: d}
+	}
+	return nil
+}
+
+// insertTempAt materializes a constructed tree into the document relative
+// to the target: as last child (into), left sibling (preceding) or right
+// sibling (following). All newly stored nodes are index-maintained.
+func insertTempAt(e *env, target *NodeItem, kind UpdateKind, t *TempNode) error {
+	if err := t.expand(e); err != nil {
+		return err
+	}
+	w, ok := e.r.(storage.Writer)
+	if !ok {
+		return fmt.Errorf("query: transaction cannot write")
+	}
+	doc := target.Doc
+	var parentH, leftH, rightH sas.XPtr
+	switch kind {
+	case UpdInsertInto:
+		parentH = target.D.Handle
+	case UpdInsertPreceding:
+		parentH = target.D.Parent
+		rightH = target.D.Handle
+	case UpdInsertFollowing:
+		parentH = target.D.Parent
+		leftH = target.D.Handle
+	}
+	if parentH.IsNil() {
+		return fmt.Errorf("query: cannot insert siblings of the document node")
+	}
+	var inserted []sas.XPtr
+	var rec func(parent sas.XPtr, left, right sas.XPtr, t *TempNode) (sas.XPtr, error)
+	rec = func(parent, left, right sas.XPtr, t *TempNode) (sas.XPtr, error) {
+		if err := t.expand(e); err != nil {
+			return sas.NilPtr, err
+		}
+		h, err := storage.InsertNode(w, doc, parent, left, right, t.Kind, t.Name, []byte(t.Text))
+		if err != nil {
+			return sas.NilPtr, err
+		}
+		inserted = append(inserted, h)
+		last := sas.NilPtr
+		for _, c := range t.Children {
+			ch, err := rec(h, last, sas.NilPtr, c)
+			if err != nil {
+				return sas.NilPtr, err
+			}
+			last = ch
+		}
+		return h, nil
+	}
+	if _, err := rec(parentH, leftH, rightH, t); err != nil {
+		return err
+	}
+	return maintainIndexes(e, doc, inserted, true)
+}
+
+// deleteNodes removes targets (subtrees) in reverse document order so
+// nested targets are handled before their ancestors. Index entries of every
+// removed node are deleted first.
+func deleteNodes(e *env, nodes []*NodeItem) (int, error) {
+	w, ok := e.r.(storage.Writer)
+	if !ok {
+		return 0, fmt.Errorf("query: transaction cannot write")
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return docOrderLess(nodes[j], nodes[i]) })
+	count := 0
+	for _, n := range nodes {
+		// The node may already be gone as part of an earlier subtree.
+		d, err := storage.DescOf(e.r, n.D.Handle)
+		if err != nil {
+			continue
+		}
+		// Collect handles in the subtree for index maintenance.
+		var handles []sas.XPtr
+		var collect func(d storage.Desc) error
+		collect = func(d storage.Desc) error {
+			handles = append(handles, d.Handle)
+			kids, err := storedChildren(e, &NodeItem{Doc: n.Doc, D: d})
+			if err != nil {
+				return err
+			}
+			for i := range kids {
+				if err := collect(kids[i].D); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := collect(d); err != nil {
+			return count, err
+		}
+		if err := maintainIndexes(e, n.Doc, handles, false); err != nil {
+			return count, err
+		}
+		if err := storage.DeleteSubtree(w, n.Doc, n.D.Handle); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// maintainIndexes inserts or deletes index entries for the given node
+// handles, matching each node's schema path against every index defined on
+// the document.
+func maintainIndexes(e *env, doc *storage.Doc, handles []sas.XPtr, insert bool) error {
+	metas := e.ctx.Tx.DB().Catalog().IndexesOf(doc.Name)
+	if len(metas) == 0 {
+		return nil
+	}
+	w, _ := e.r.(storage.Writer)
+	for _, meta := range metas {
+		onSet, bySteps, err := indexPaths(e, doc, meta)
+		if err != nil {
+			return err
+		}
+		tree := &index.Tree{Root: meta.Root}
+		changed := false
+		for _, h := range handles {
+			d, err := storage.DescOf(e.r, h)
+			if err != nil {
+				return err
+			}
+			sn := doc.Schema.ByID(d.SchemaID)
+			if sn == nil || !onSet[sn.ID] {
+				continue
+			}
+			node := &NodeItem{Doc: doc, D: d}
+			key, ok, err := indexKeyOf(e, node, bySteps, meta.KeyType)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if insert {
+				err = tree.Insert(w, key, h)
+			} else {
+				err = tree.Delete(w, key, h)
+			}
+			if err != nil {
+				return err
+			}
+			changed = true
+		}
+		if changed && tree.Root != meta.Root {
+			meta.Root = tree.Root
+			if err := logIndexRoot(e, meta); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

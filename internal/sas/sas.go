@@ -1,0 +1,123 @@
+// Package sas implements the Sedna Address Space (SAS): a 64-bit database
+// address space divided into layers of equal size, where a pointer is the
+// pair (layer number, address within layer).
+//
+// The paper's key memory-management idea (§4.2) is that an address within a
+// layer maps to the process virtual address space on an equality basis, so
+// pointers have the same representation on disk and in memory and no pointer
+// swizzling is ever required. This package provides the pointer type and the
+// layer arithmetic; the fault-handling half of the mechanism (loading a page
+// when the layer resident at the target slot differs from the addressed
+// layer) lives in package buffer.
+package sas
+
+import "fmt"
+
+// PageSizeShift is log2 of the page size. Pages are the unit of interaction
+// with disk and of buffer management; layers are the unit of address-space
+// mapping (a layer is what must "fit into the virtual address space").
+const PageSizeShift = 14
+
+// PageSize is the size in bytes of every database page.
+const PageSize = 1 << PageSizeShift // 16 KiB
+
+// LayerSize is the size in bytes of one SAS layer. The paper uses the full
+// 32-bit offset range per layer; we keep the 32-bit offset field but cap the
+// populated portion of each layer so that layer slot tables stay small. This
+// is a constant of the reproduction, not of the format: offsets are still
+// 32-bit on disk.
+const LayerSize = 1 << 26 // 64 MiB populated per layer
+
+// PagesPerLayer is the number of pages in one layer.
+const PagesPerLayer = LayerSize / PageSize
+
+// XPtr is a pointer into the Sedna Address Space: the layer number in the
+// high 32 bits and the byte address within the layer in the low 32 bits.
+// The zero value is the nil pointer (layer 0 is never allocated).
+type XPtr uint64
+
+// NilPtr is the null SAS pointer.
+const NilPtr XPtr = 0
+
+// MakePtr assembles an XPtr from a layer number and an offset within the
+// layer.
+func MakePtr(layer uint32, offset uint32) XPtr {
+	return XPtr(uint64(layer)<<32 | uint64(offset))
+}
+
+// Layer returns the layer number of p.
+func (p XPtr) Layer() uint32 { return uint32(p >> 32) }
+
+// Offset returns the byte address of p within its layer.
+func (p XPtr) Offset() uint32 { return uint32(p) }
+
+// IsNil reports whether p is the null pointer.
+func (p XPtr) IsNil() bool { return p == NilPtr }
+
+// PageOffset returns the byte offset of p within its page.
+func (p XPtr) PageOffset() uint32 { return uint32(p) & (PageSize - 1) }
+
+// PageBase returns the pointer to the start of the page containing p.
+func (p XPtr) PageBase() XPtr { return p &^ (PageSize - 1) }
+
+// PageIndex returns the index of p's page within its layer.
+func (p XPtr) PageIndex() uint32 { return uint32(p) >> PageSizeShift }
+
+// Add returns p advanced by delta bytes. The result stays within the same
+// layer; advancing past the layer end is a programming error and panics.
+func (p XPtr) Add(delta uint32) XPtr {
+	off := uint64(uint32(p)) + uint64(delta)
+	if off > 0xFFFFFFFF {
+		panic("sas: XPtr.Add overflows layer")
+	}
+	return XPtr(uint64(p.Layer())<<32 | off)
+}
+
+// String formats p as layer:offset for diagnostics.
+func (p XPtr) String() string {
+	if p.IsNil() {
+		return "nil"
+	}
+	return fmt.Sprintf("%d:%08x", p.Layer(), p.Offset())
+}
+
+// PageID identifies a page globally: the layer number and the page index
+// within the layer. It is the key used by the buffer manager and the page
+// file.
+type PageID struct {
+	Layer uint32
+	Page  uint32 // page index within the layer
+}
+
+// PageIDOf returns the PageID of the page containing p.
+func PageIDOf(p XPtr) PageID {
+	return PageID{Layer: p.Layer(), Page: p.PageIndex()}
+}
+
+// Ptr returns the SAS pointer to the first byte of the page.
+func (id PageID) Ptr() XPtr {
+	return MakePtr(id.Layer, id.Page<<PageSizeShift)
+}
+
+// IsNil reports whether id identifies no page (layer 0 is reserved).
+func (id PageID) IsNil() bool { return id.Layer == 0 }
+
+// GlobalIndex returns the dense global page number used as the file offset
+// multiplier in the data file: layers are allocated contiguously, layer 1
+// first.
+func (id PageID) GlobalIndex() uint64 {
+	if id.Layer == 0 {
+		panic("sas: GlobalIndex of nil page")
+	}
+	return uint64(id.Layer-1)*PagesPerLayer + uint64(id.Page)
+}
+
+// PageIDFromGlobal is the inverse of GlobalIndex.
+func PageIDFromGlobal(g uint64) PageID {
+	return PageID{Layer: uint32(g/PagesPerLayer) + 1, Page: uint32(g % PagesPerLayer)}
+}
+
+// String formats the page id for diagnostics.
+func (id PageID) String() string {
+	return fmt.Sprintf("L%d.P%d", id.Layer, id.Page)
+}

@@ -1,0 +1,101 @@
+package sas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMakePtrRoundTrip(t *testing.T) {
+	f := func(layer, offset uint32) bool {
+		p := MakePtr(layer, offset)
+		return p.Layer() == layer && p.Offset() == offset
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilPtr(t *testing.T) {
+	if !NilPtr.IsNil() {
+		t.Fatal("NilPtr must be nil")
+	}
+	if MakePtr(1, 0).IsNil() {
+		t.Fatal("layer-1 pointer must not be nil")
+	}
+	if NilPtr.String() != "nil" {
+		t.Fatalf("got %q", NilPtr.String())
+	}
+}
+
+func TestPageDecomposition(t *testing.T) {
+	p := MakePtr(3, 5*PageSize+123)
+	if p.PageOffset() != 123 {
+		t.Fatalf("PageOffset = %d", p.PageOffset())
+	}
+	if p.PageIndex() != 5 {
+		t.Fatalf("PageIndex = %d", p.PageIndex())
+	}
+	if p.PageBase() != MakePtr(3, 5*PageSize) {
+		t.Fatalf("PageBase = %v", p.PageBase())
+	}
+	id := PageIDOf(p)
+	if id.Layer != 3 || id.Page != 5 {
+		t.Fatalf("PageIDOf = %v", id)
+	}
+	if id.Ptr() != p.PageBase() {
+		t.Fatalf("PageID.Ptr = %v", id.Ptr())
+	}
+}
+
+func TestAdd(t *testing.T) {
+	p := MakePtr(2, 100)
+	q := p.Add(28)
+	if q.Layer() != 2 || q.Offset() != 128 {
+		t.Fatalf("Add = %v", q)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add past layer end must panic")
+		}
+	}()
+	MakePtr(1, 0xFFFFFFFF).Add(1)
+}
+
+func TestGlobalIndexRoundTrip(t *testing.T) {
+	f := func(layer, page uint32) bool {
+		layer = layer%1000 + 1
+		page = page % PagesPerLayer
+		id := PageID{Layer: layer, Page: page}
+		return PageIDFromGlobal(id.GlobalIndex()) == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobalIndexDense(t *testing.T) {
+	// Layer 1 page 0 is global 0; the numbering is dense across layers.
+	if g := (PageID{Layer: 1, Page: 0}).GlobalIndex(); g != 0 {
+		t.Fatalf("global of L1.P0 = %d", g)
+	}
+	last := PageID{Layer: 1, Page: PagesPerLayer - 1}
+	next := PageID{Layer: 2, Page: 0}
+	if next.GlobalIndex() != last.GlobalIndex()+1 {
+		t.Fatalf("layers not dense: %d then %d", last.GlobalIndex(), next.GlobalIndex())
+	}
+}
+
+func TestGlobalIndexNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GlobalIndex of nil page must panic")
+		}
+	}()
+	_ = PageID{}.GlobalIndex()
+}
+
+func TestPageIDString(t *testing.T) {
+	if s := (PageID{Layer: 2, Page: 7}).String(); s != "L2.P7" {
+		t.Fatalf("got %q", s)
+	}
+}

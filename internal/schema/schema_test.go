@@ -1,0 +1,210 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLibrary builds the descriptive schema of the paper's Figure 2 sample
+// document.
+func buildLibrary(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	lib, created := s.EnsureChild(s.Root, KindElement, "library")
+	if !created {
+		t.Fatal("library should be new")
+	}
+	book, _ := s.EnsureChild(lib, KindElement, "book")
+	title, _ := s.EnsureChild(book, KindElement, "title")
+	s.EnsureChild(title, KindText, "")
+	author, _ := s.EnsureChild(book, KindElement, "author")
+	s.EnsureChild(author, KindText, "")
+	issue, _ := s.EnsureChild(book, KindElement, "issue")
+	pub, _ := s.EnsureChild(issue, KindElement, "publisher")
+	s.EnsureChild(pub, KindText, "")
+	year, _ := s.EnsureChild(issue, KindElement, "year")
+	s.EnsureChild(year, KindText, "")
+	paper, _ := s.EnsureChild(lib, KindElement, "paper")
+	ptitle, _ := s.EnsureChild(paper, KindElement, "title")
+	s.EnsureChild(ptitle, KindText, "")
+	pauthor, _ := s.EnsureChild(paper, KindElement, "author")
+	s.EnsureChild(pauthor, KindText, "")
+	return s
+}
+
+func TestEveryPathHasOneSchemaPath(t *testing.T) {
+	s := buildLibrary(t)
+	lib := s.Root.Child(KindElement, "library")
+	// Loading a second book adds no schema node: same path, same node.
+	book, created := s.EnsureChild(lib, KindElement, "book")
+	if created {
+		t.Fatal("second book must reuse the schema node")
+	}
+	if got := lib.Child(KindElement, "book"); got != book {
+		t.Fatal("Child lookup disagrees with EnsureChild")
+	}
+	// The library element has exactly two element children in the schema,
+	// independent of how many books/papers the data holds (Figure 2).
+	if n := len(lib.Children); n != 2 {
+		t.Fatalf("library schema children = %d, want 2", n)
+	}
+}
+
+func TestChildIndexIsDescriptorSlot(t *testing.T) {
+	s := buildLibrary(t)
+	lib := s.Root.Child(KindElement, "library")
+	book := lib.Child(KindElement, "book")
+	paper := lib.Child(KindElement, "paper")
+	if lib.ChildIndex(book) != 0 || lib.ChildIndex(paper) != 1 {
+		t.Fatalf("slots: book=%d paper=%d", lib.ChildIndex(book), lib.ChildIndex(paper))
+	}
+	if lib.ChildIndex(s.Root) != -1 {
+		t.Fatal("non-child must report -1")
+	}
+}
+
+func TestPathAndDepth(t *testing.T) {
+	s := buildLibrary(t)
+	lib := s.Root.Child(KindElement, "library")
+	year := lib.Child(KindElement, "book").
+		Child(KindElement, "issue").
+		Child(KindElement, "year")
+	if got := year.Path(); got != "/library/book/issue/year" {
+		t.Fatalf("Path = %q", got)
+	}
+	if year.Depth() != 4 {
+		t.Fatalf("Depth = %d", year.Depth())
+	}
+	if s.Root.Path() != "/" {
+		t.Fatalf("root path = %q", s.Root.Path())
+	}
+	text := year.Child(KindText, "")
+	if got := text.Path(); got != "/library/book/issue/year/text()" {
+		t.Fatalf("text path = %q", got)
+	}
+}
+
+func TestDescendantsResolvesDoubleSlash(t *testing.T) {
+	s := buildLibrary(t)
+	// //title resolves to two schema nodes: under book and under paper.
+	titles := s.Root.Descendants(func(n *Node) bool {
+		return n.Kind == KindElement && n.Name == "title"
+	})
+	if len(titles) != 2 {
+		t.Fatalf("//title schema nodes = %d, want 2", len(titles))
+	}
+	authors := s.Root.Descendants(func(n *Node) bool {
+		return n.Kind == KindElement && n.Name == "author"
+	})
+	if len(authors) != 2 {
+		t.Fatalf("//author schema nodes = %d, want 2", len(authors))
+	}
+}
+
+func TestIsAncestorOf(t *testing.T) {
+	s := buildLibrary(t)
+	lib := s.Root.Child(KindElement, "library")
+	year := lib.Child(KindElement, "book").Child(KindElement, "issue").Child(KindElement, "year")
+	if !s.Root.IsAncestorOf(year) || !lib.IsAncestorOf(year) {
+		t.Fatal("ancestors not detected")
+	}
+	if year.IsAncestorOf(lib) {
+		t.Fatal("descendant reported as ancestor")
+	}
+	if lib.IsAncestorOf(lib) {
+		t.Fatal("IsAncestorOf must be proper")
+	}
+}
+
+func TestAttributeKindAndNames(t *testing.T) {
+	s := New()
+	e, _ := s.EnsureChild(s.Root, KindElement, "e")
+	a, created := s.EnsureChild(e, KindAttribute, "id")
+	if !created || a.Kind != KindAttribute || a.Name != "id" {
+		t.Fatalf("attribute schema node wrong: %+v", a)
+	}
+	if a.Path() != "/e/@id" {
+		t.Fatalf("attribute path = %q", a.Path())
+	}
+	// Text kind ignores names.
+	txt, _ := s.EnsureChild(e, KindText, "ignored")
+	if txt.Name != "" {
+		t.Fatal("text schema node must not carry a name")
+	}
+	again, created := s.EnsureChild(e, KindText, "other")
+	if created || again != txt {
+		t.Fatal("text schema node must be shared regardless of name argument")
+	}
+}
+
+func TestFlattenRebuildRoundTrip(t *testing.T) {
+	s := buildLibrary(t)
+	lib := s.Root.Child(KindElement, "library")
+	lib.NodeCount = 7
+	lib.BlockCount = 2
+
+	flats := s.Flatten()
+	s2, err := Rebuild(flats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != s.Len() {
+		t.Fatalf("rebuilt size %d, want %d", s2.Len(), s.Len())
+	}
+	lib2 := s2.Root.Child(KindElement, "library")
+	if lib2 == nil || lib2.NodeCount != 7 || lib2.BlockCount != 2 {
+		t.Fatalf("rebuilt library = %+v", lib2)
+	}
+	if lib2.ID != lib.ID {
+		t.Fatal("IDs must be stable across rebuild")
+	}
+	// Child order (descriptor slots!) must be preserved.
+	if lib2.ChildIndex(lib2.Child(KindElement, "book")) != 0 ||
+		lib2.ChildIndex(lib2.Child(KindElement, "paper")) != 1 {
+		t.Fatal("child order lost in round trip")
+	}
+	// New nodes created after rebuild must not collide with existing IDs.
+	n, _ := s2.EnsureChild(lib2, KindElement, "magazine")
+	if s2.ByID(n.ID) != n {
+		t.Fatal("ByID lookup of new node failed")
+	}
+	for _, f := range flats {
+		if f.ID == n.ID {
+			t.Fatal("new node reused an existing ID")
+		}
+	}
+}
+
+func TestRebuildRejectsMalformed(t *testing.T) {
+	if _, err := Rebuild(nil); err == nil {
+		t.Fatal("empty schema must be rejected")
+	}
+	if _, err := Rebuild([]Flat{{ID: 2, ParentID: 1}}); err == nil {
+		t.Fatal("orphan node must be rejected")
+	}
+	if _, err := Rebuild([]Flat{{ID: 1}, {ID: 2}}); err == nil {
+		t.Fatal("two roots must be rejected")
+	}
+}
+
+func TestDumpShape(t *testing.T) {
+	s := buildLibrary(t)
+	d := s.Dump()
+	for _, want := range []string{"document", `element "library"`, `element "book"`, `element "paper"`, "text"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("dump missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestWalkOrder(t *testing.T) {
+	s := buildLibrary(t)
+	var ids []uint32
+	s.Root.Walk(func(n *Node) { ids = append(ids, n.ID) })
+	if len(ids) != s.Len() {
+		t.Fatalf("walk visited %d of %d", len(ids), s.Len())
+	}
+	if ids[0] != s.Root.ID {
+		t.Fatal("walk must start at root")
+	}
+}

@@ -1,0 +1,86 @@
+// Package server implements the process architecture of the paper's
+// Figure 1: the governor keeps track of all sessions and transactions
+// running in the system; a connection component encapsulates each client
+// session; and a transaction component wraps every database transaction a
+// session runs. Clients talk to the server over a small length-prefixed
+// message protocol on TCP.
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Message types (client → server).
+const (
+	MsgHello    = 1
+	MsgBegin    = 2
+	MsgExecute  = 3
+	MsgCommit   = 4
+	MsgRollback = 5
+	MsgQuit     = 6
+)
+
+// Message types (server → client).
+const (
+	MsgOK     = 64
+	MsgResult = 65
+	MsgError  = 66
+)
+
+// maxMessage bounds a single protocol message.
+const maxMessage = 64 << 20
+
+// Request is a client message payload.
+type Request struct {
+	ReadOnly bool   `json:"readonly,omitempty"` // MsgBegin
+	Query    string `json:"query,omitempty"`    // MsgExecute
+}
+
+// Response is a server message payload.
+type Response struct {
+	Message string `json:"message,omitempty"`
+	Data    string `json:"data,omitempty"`
+	Updated int    `json:"updated,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// WriteMsg frames and writes one message.
+func WriteMsg(w io.Writer, typ byte, payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadMsg reads one framed message.
+func ReadMsg(r io.Reader, payload any) (byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxMessage {
+		return 0, fmt.Errorf("server: message of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, err
+	}
+	if payload != nil {
+		if err := json.Unmarshal(body, payload); err != nil {
+			return 0, err
+		}
+	}
+	return hdr[4], nil
+}

@@ -1,0 +1,266 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sedna/internal/core"
+	"sedna/internal/query"
+)
+
+// Governor is the control center of the system (§3): it keeps track of the
+// database and of every session and transaction currently running, and
+// manages their lifecycle.
+type Governor struct {
+	db *core.Database
+
+	mu       sync.Mutex
+	sessions map[uint64]*Session
+	nextSess uint64
+
+	txnsStarted atomic.Uint64
+}
+
+// NewGovernor creates a governor over an open database.
+func NewGovernor(db *core.Database) *Governor {
+	return &Governor{db: db, sessions: make(map[uint64]*Session)}
+}
+
+// DB returns the managed database.
+func (g *Governor) DB() *core.Database { return g.db }
+
+// SessionCount returns the number of registered sessions.
+func (g *Governor) SessionCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.sessions)
+}
+
+// TxnsStarted returns how many transactions the governor has created.
+func (g *Governor) TxnsStarted() uint64 { return g.txnsStarted.Load() }
+
+func (g *Governor) register(s *Session) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextSess++
+	s.id = g.nextSess
+	g.sessions[s.id] = s
+}
+
+func (g *Governor) unregister(s *Session) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.sessions, s.id)
+}
+
+// Session is the connection component: it encapsulates one client session
+// and creates a transaction component per database transaction (§3).
+type Session struct {
+	id  uint64
+	gov *Governor
+	tx  *core.Tx // open explicit transaction, if any
+}
+
+// NewSession registers a fresh session with the governor.
+func (g *Governor) NewSession() *Session {
+	s := &Session{gov: g}
+	g.register(s)
+	return s
+}
+
+// Close rolls back any open transaction and unregisters the session.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+	}
+	s.gov.unregister(s)
+}
+
+// Begin starts an explicit transaction on the session.
+func (s *Session) Begin(readonly bool) error {
+	if s.tx != nil {
+		return errors.New("server: transaction already open")
+	}
+	tx, err := s.beginTx(readonly)
+	if err != nil {
+		return err
+	}
+	s.tx = tx
+	return nil
+}
+
+func (s *Session) beginTx(readonly bool) (*core.Tx, error) {
+	s.gov.txnsStarted.Add(1)
+	if readonly {
+		return s.gov.db.BeginReadOnly()
+	}
+	return s.gov.db.Begin()
+}
+
+// Commit commits the open transaction.
+func (s *Session) Commit() error {
+	if s.tx == nil {
+		return errors.New("server: no open transaction")
+	}
+	err := s.tx.Commit()
+	s.tx = nil
+	return err
+}
+
+// Rollback aborts the open transaction.
+func (s *Session) Rollback() error {
+	if s.tx == nil {
+		return errors.New("server: no open transaction")
+	}
+	err := s.tx.Rollback()
+	s.tx = nil
+	return err
+}
+
+// Execute runs one statement. Inside an explicit transaction it uses it;
+// otherwise it runs in auto-commit mode, choosing a read-only snapshot
+// transaction for queries and an update transaction for everything else.
+func (s *Session) Execute(src string) (*Response, error) {
+	st, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	tx := s.tx
+	auto := tx == nil
+	if auto {
+		readonly := st.Query != nil
+		tx, err = s.beginTx(readonly)
+		if err != nil {
+			return nil, err
+		}
+	}
+	res, err := query.ExecuteStatement(query.NewExecCtx(tx), st)
+	if err != nil {
+		if auto {
+			tx.Rollback()
+		}
+		return nil, err
+	}
+	var sb strings.Builder
+	if err := res.Serialize(&sb); err != nil {
+		if auto {
+			tx.Rollback()
+		}
+		return nil, err
+	}
+	if auto {
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+	}
+	return &Response{Data: sb.String(), Updated: res.Updated, Message: res.Message}, nil
+}
+
+// Server accepts client connections.
+type Server struct {
+	gov *Governor
+	ln  net.Listener
+
+	wg     sync.WaitGroup
+	closed atomic.Bool
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:5050").
+func Listen(db *core.Database, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &Server{gov: NewGovernor(db), ln: ln}
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Governor exposes the governor.
+func (s *Server) Governor() *Governor { return s.gov }
+
+// Close stops accepting and waits for connections to finish.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return
+			}
+			log.Printf("sednad: accept: %v", err)
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	sess := s.gov.NewSession()
+	defer sess.Close()
+
+	for {
+		var req Request
+		typ, err := ReadMsg(conn, &req)
+		if err != nil {
+			return // connection gone
+		}
+		var resp *Response
+		var rerr error
+		switch typ {
+		case MsgHello:
+			resp = &Response{Message: fmt.Sprintf("sedna-go session %d", sess.id)}
+		case MsgBegin:
+			rerr = sess.Begin(req.ReadOnly)
+			resp = &Response{Message: "begun"}
+		case MsgExecute:
+			resp, rerr = sess.Execute(req.Query)
+		case MsgCommit:
+			rerr = sess.Commit()
+			resp = &Response{Message: "committed"}
+		case MsgRollback:
+			rerr = sess.Rollback()
+			resp = &Response{Message: "rolled back"}
+		case MsgQuit:
+			WriteMsg(conn, MsgOK, &Response{Message: "bye"})
+			return
+		default:
+			rerr = fmt.Errorf("server: unknown message type %d", typ)
+		}
+		if rerr != nil {
+			if err := WriteMsg(conn, MsgError, &Response{Error: rerr.Error()}); err != nil {
+				return
+			}
+			continue
+		}
+		out := byte(MsgOK)
+		if typ == MsgExecute {
+			out = MsgResult
+		}
+		if err := WriteMsg(conn, out, resp); err != nil {
+			return
+		}
+	}
+}

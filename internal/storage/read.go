@@ -1,0 +1,309 @@
+package storage
+
+import (
+	"fmt"
+
+	"sedna/internal/nid"
+	"sedna/internal/sas"
+	"sedna/internal/schema"
+)
+
+// ReadDesc reads and fully decodes the node descriptor at ptr, resolving an
+// overflowed numbering-scheme label from text storage when necessary.
+func ReadDesc(r Reader, ptr sas.XPtr) (Desc, error) {
+	var d Desc
+	var overflow sas.XPtr
+	var nidLen int
+	err := r.ReadPage(ptr, func(page []byte) error {
+		h, err := decodeNodeHeader(page)
+		if err != nil {
+			return err
+		}
+		d, overflow, nidLen = decodeDescAt(page, ptr.PageBase(), uint16(ptr.PageOffset()), h)
+		return nil
+	})
+	if err != nil {
+		return Desc{}, err
+	}
+	if !overflow.IsNil() {
+		prefix, err := ReadText(r, overflow, uint32(nidLen))
+		if err != nil {
+			return Desc{}, fmt.Errorf("storage: overflowed label of %v: %w", ptr, err)
+		}
+		d.Label.Prefix = prefix
+	}
+	return d, nil
+}
+
+// DescOf resolves a node handle and reads its descriptor.
+func DescOf(r Reader, handle sas.XPtr) (Desc, error) {
+	p, err := DerefHandle(r, handle)
+	if err != nil {
+		return Desc{}, err
+	}
+	return ReadDesc(r, p)
+}
+
+// Text returns the text value of the node (empty for nodes without text).
+func Text(r Reader, d *Desc) ([]byte, error) {
+	if d.Text.IsNil() {
+		return nil, nil
+	}
+	return ReadText(r, d.Text, d.TextLen)
+}
+
+// ParentOf reads the parent descriptor, or ok=false for the document node.
+func ParentOf(r Reader, d *Desc) (Desc, bool, error) {
+	if d.Parent.IsNil() {
+		return Desc{}, false, nil
+	}
+	p, err := DescOf(r, d.Parent)
+	if err != nil {
+		return Desc{}, false, err
+	}
+	return p, true, nil
+}
+
+// FirstChild returns the first child of d in document order: among the
+// per-schema first-child pointers it is the one with the smallest label.
+// ok=false if d has no children.
+func FirstChild(r Reader, d *Desc) (Desc, bool, error) {
+	var best Desc
+	found := false
+	for _, c := range d.Children {
+		if c.IsNil() {
+			continue
+		}
+		cd, err := ReadDesc(r, c)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		if !found || nid.Compare(cd.Label, best.Label) < 0 {
+			best = cd
+			found = true
+		}
+	}
+	return best, found, nil
+}
+
+// LastChild returns the last child of d in document order.
+func LastChild(r Reader, d *Desc) (Desc, bool, error) {
+	// Take the per-schema first child with the greatest label, then follow
+	// right-sibling pointers to the end.
+	var cur Desc
+	found := false
+	for _, c := range d.Children {
+		if c.IsNil() {
+			continue
+		}
+		cd, err := ReadDesc(r, c)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		if !found || nid.Compare(cd.Label, cur.Label) > 0 {
+			cur = cd
+			found = true
+		}
+	}
+	if !found {
+		return Desc{}, false, nil
+	}
+	for !cur.RightSib.IsNil() {
+		next, err := ReadDesc(r, cur.RightSib)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		cur = next
+	}
+	return cur, true, nil
+}
+
+// ChildAtSlot returns the first child stored under the given schema-child
+// slot. Descriptors in narrow blocks (delayed widening) report nil for
+// slots beyond their width.
+func (d *Desc) ChildAtSlot(slot int) sas.XPtr {
+	if slot < 0 || slot >= len(d.Children) {
+		return sas.NilPtr
+	}
+	return d.Children[slot]
+}
+
+// NextInList returns the next descriptor of the same schema node in
+// document order, crossing block boundaries. ok=false at the end of the
+// list.
+func NextInList(r Reader, d *Desc) (Desc, bool, error) {
+	if !d.NextInBlock.IsNil() {
+		n, err := ReadDesc(r, d.NextInBlock)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		return n, true, nil
+	}
+	block := d.Ptr.PageBase()
+	for {
+		h, err := readNodeHeader(r, block)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		if h.Next.IsNil() {
+			return Desc{}, false, nil
+		}
+		block = h.Next
+		nh, err := readNodeHeader(r, block)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		if nh.FirstDesc != 0 {
+			n, err := ReadDesc(r, block.Add(uint32(nh.FirstDesc)))
+			if err != nil {
+				return Desc{}, false, err
+			}
+			return n, true, nil
+		}
+	}
+}
+
+// FirstOfSchema returns the first descriptor of the schema node's block
+// list in document order; ok=false when the list is empty.
+func FirstOfSchema(r Reader, sn *schema.Node) (Desc, bool, error) {
+	block := sn.FirstBlock
+	for !block.IsNil() {
+		h, err := readNodeHeader(r, block)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		if h.FirstDesc != 0 {
+			d, err := ReadDesc(r, block.Add(uint32(h.FirstDesc)))
+			if err != nil {
+				return Desc{}, false, err
+			}
+			return d, true, nil
+		}
+		block = h.Next
+	}
+	return Desc{}, false, nil
+}
+
+// LastOfSchema returns the last descriptor of the schema node's list.
+func LastOfSchema(r Reader, sn *schema.Node) (Desc, bool, error) {
+	block := sn.LastBlock
+	for !block.IsNil() {
+		h, err := readNodeHeader(r, block)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		if h.LastDesc != 0 {
+			d, err := ReadDesc(r, block.Add(uint32(h.LastDesc)))
+			if err != nil {
+				return Desc{}, false, err
+			}
+			return d, true, nil
+		}
+		block = h.Prev
+	}
+	return Desc{}, false, nil
+}
+
+// ScanSchema calls visit for every node of the schema node in document
+// order. visit returning false stops the scan. This is the block-list scan
+// that backs descendant-axis evaluation over the descriptive schema.
+func ScanSchema(r Reader, sn *schema.Node, visit func(Desc) (bool, error)) error {
+	d, ok, err := FirstOfSchema(r, sn)
+	for {
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		cont, err := visit(d)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+		d, ok, err = NextInList(r, &d)
+	}
+}
+
+// FirstInRange returns the first descriptor of sn in document order whose
+// label lies in the descendant range of anc. Blocks entirely before the
+// range are skipped by comparing their last descriptor's label — the
+// partial order of descriptors across blocks (§4.1) makes the skip sound.
+// This is the primitive behind schema-driven descendant-axis evaluation.
+func FirstInRange(r Reader, sn *schema.Node, anc nid.Label) (Desc, bool, error) {
+	for block := sn.FirstBlock; !block.IsNil(); {
+		h, err := readNodeHeader(r, block)
+		if err != nil {
+			return Desc{}, false, err
+		}
+		if h.LastDesc != 0 {
+			last, err := ReadDesc(r, block.Add(uint32(h.LastDesc)))
+			if err != nil {
+				return Desc{}, false, err
+			}
+			if nid.Compare(last.Label, anc) > 0 {
+				// The range, if populated, starts in this block.
+				for off := h.FirstDesc; off != 0; {
+					d, err := ReadDesc(r, block.Add(uint32(off)))
+					if err != nil {
+						return Desc{}, false, err
+					}
+					if nid.Compare(d.Label, anc) > 0 {
+						if nid.IsAncestor(anc, d.Label) {
+							return d, true, nil
+						}
+						return Desc{}, false, nil // past the range: no descendants
+					}
+					if d.NextInBlock.IsNil() {
+						off = 0
+					} else {
+						off = uint16(d.NextInBlock.PageOffset())
+					}
+				}
+				return Desc{}, false, nil
+			}
+		}
+		block = h.Next
+	}
+	return Desc{}, false, nil
+}
+
+// BlockCountNext decodes the live-descriptor count and next pointer from a
+// node-block page; recovery uses it to recompute schema counters.
+func BlockCountNext(page []byte) (count int, next sas.XPtr) {
+	return int(getU16(page, nbCount)), getPtr(page, nbNext)
+}
+
+// ChainNext returns the next-block pointer of any block kind (node, text or
+// indirection block); used when dropping a document frees whole chains.
+func ChainNext(r Reader, block sas.XPtr) (sas.XPtr, error) {
+	var next sas.XPtr
+	err := r.ReadPage(block, func(page []byte) error {
+		switch page[0] {
+		case blockKindNode:
+			next = getPtr(page, nbNext)
+		case blockKindText:
+			next = getPtr(page, tbNext)
+		case blockKindIndir:
+			next = getPtr(page, ibNext)
+		default:
+			return fmt.Errorf("storage: ChainNext on unknown block kind %d", page[0])
+		}
+		return nil
+	})
+	return next, err
+}
+
+// IsAncestorDesc reports whether a is a proper ancestor of b using the
+// numbering scheme — no tree traversal required (§4.1.1 mechanism 1).
+func IsAncestorDesc(a, b *Desc) bool {
+	return nid.IsAncestor(a.Label, b.Label)
+}
+
+// DocLess reports document order between two nodes via their labels
+// (§4.1.1 mechanism 2).
+func DocLess(a, b *Desc) bool {
+	return nid.Compare(a.Label, b.Label) < 0
+}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sedna/internal/sas"
+)
+
+// Small typed read/write helpers over the Reader/Writer page interfaces.
+// Reads copy out of the pinned page; writes go through WriteAt so that they
+// are WAL-logged and versioned by the transaction layer.
+
+func readBytes(r Reader, p sas.XPtr, n int) ([]byte, error) {
+	out := make([]byte, n)
+	err := r.ReadPage(p, func(page []byte) error {
+		off := int(p.PageOffset())
+		if off+n > len(page) {
+			return fmt.Errorf("storage: read of %d bytes at %v crosses page end", n, p)
+		}
+		copy(out, page[off:off+n])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func readU16At(r Reader, p sas.XPtr) (uint16, error) {
+	b, err := readBytes(r, p, 2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func readPtrAt(r Reader, p sas.XPtr) (sas.XPtr, error) {
+	b, err := readBytes(r, p, 8)
+	if err != nil {
+		return 0, err
+	}
+	return sas.XPtr(binary.LittleEndian.Uint64(b)), nil
+}
+
+func writeU16At(w Writer, p sas.XPtr, v uint16) error {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	return w.WriteAt(p, b[:])
+}
+
+func writeU32At(w Writer, p sas.XPtr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return w.WriteAt(p, b[:])
+}
+
+func writePtrAt(w Writer, p sas.XPtr, v sas.XPtr) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return w.WriteAt(p, b[:])
+}
+
+// readNodeHeader decodes the node-block header of the block containing p.
+func readNodeHeader(r Reader, block sas.XPtr) (nodeBlockHeader, error) {
+	var h nodeBlockHeader
+	err := r.ReadPage(block, func(page []byte) error {
+		var err error
+		h, err = decodeNodeHeader(page)
+		return err
+	})
+	return h, err
+}

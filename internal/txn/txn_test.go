@@ -1,0 +1,327 @@
+package txn
+
+import (
+	"path/filepath"
+	"testing"
+
+	"sedna/internal/buffer"
+	"sedna/internal/lock"
+	"sedna/internal/pagefile"
+	"sedna/internal/sas"
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+	"sedna/internal/wal"
+)
+
+type env struct {
+	m    *Manager
+	pf   *pagefile.File
+	snap *pagefile.SnapArea
+	log  *wal.Log
+	buf  *buffer.Manager
+}
+
+func newEnv(t *testing.T) *env {
+	t.Helper()
+	dir := t.TempDir()
+	pf, err := pagefile.Open(filepath.Join(dir, "data.sdb"), pagefile.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := pagefile.OpenSnapArea(filepath.Join(dir, "data.snap"), pagefile.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := wal.Open(filepath.Join(dir, "data.wal"), wal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := buffer.New(pf, snap, 256)
+	m := NewManager(buf, log, pf, lock.New())
+	t.Cleanup(func() { log.Close(); snap.Close(); pf.Close() })
+	return &env{m: m, pf: pf, snap: snap, log: log, buf: buf}
+}
+
+// Storage-layer interface compliance.
+var _ storage.Writer = (*Tx)(nil)
+var _ storage.Reader = (*Tx)(nil)
+
+func TestCommitMakesWritesVisible(t *testing.T) {
+	e := newEnv(t)
+	tx := e.m.Begin()
+	id, err := tx.AllocPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.WriteAt(id.Ptr(), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx2 := e.m.Begin()
+	defer tx2.Rollback()
+	err = tx2.ReadPage(id.Ptr(), func(page []byte) error {
+		if string(page[:5]) != "hello" {
+			t.Fatalf("page = %q", page[:5])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRollbackDiscardsWritesAndRunsUndo(t *testing.T) {
+	e := newEnv(t)
+	setup := e.m.Begin()
+	id, _ := setup.AllocPage()
+	setup.WriteAt(id.Ptr(), []byte("AAAA"))
+	if err := setup.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := e.m.Begin()
+	tx.WriteAt(id.Ptr(), []byte("BBBB"))
+	undone := false
+	tx.Defer(func() { undone = true })
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if !undone {
+		t.Fatal("undo did not run")
+	}
+
+	tx2 := e.m.BeginReadOnly()
+	defer tx2.Rollback()
+	tx2.ReadPage(id.Ptr(), func(page []byte) error {
+		if string(page[:4]) != "AAAA" {
+			t.Fatalf("page = %q after rollback", page[:4])
+		}
+		return nil
+	})
+}
+
+func TestReadOnlySnapshotIsolation(t *testing.T) {
+	e := newEnv(t)
+	w1 := e.m.Begin()
+	id, _ := w1.AllocPage()
+	w1.WriteAt(id.Ptr(), []byte{1})
+	w1.Commit()
+
+	r := e.m.BeginReadOnly()
+	defer r.Rollback()
+
+	w2 := e.m.Begin()
+	w2.WriteAt(id.Ptr(), []byte{2})
+	w2.Commit()
+
+	// Reader still sees version 1; a new reader sees 2.
+	r.ReadPage(id.Ptr(), func(page []byte) error {
+		if page[0] != 1 {
+			t.Fatalf("old snapshot sees %d", page[0])
+		}
+		return nil
+	})
+	r2 := e.m.BeginReadOnly()
+	defer r2.Rollback()
+	r2.ReadPage(id.Ptr(), func(page []byte) error {
+		if page[0] != 2 {
+			t.Fatalf("new snapshot sees %d", page[0])
+		}
+		return nil
+	})
+}
+
+func TestReadOnlyRejectsWrites(t *testing.T) {
+	e := newEnv(t)
+	r := e.m.BeginReadOnly()
+	defer r.Rollback()
+	if err := r.WriteAt(sas.MakePtr(1, sas.PageSize), []byte{1}); err != ErrReadOnly {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := r.AllocPage(); err != ErrReadOnly {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotReleasePurgesVersions(t *testing.T) {
+	e := newEnv(t)
+	w := e.m.Begin()
+	id, _ := w.AllocPage()
+	w.WriteAt(id.Ptr(), []byte{1})
+	w.Commit()
+
+	r := e.m.BeginReadOnly()
+	w2 := e.m.Begin()
+	w2.WriteAt(id.Ptr(), []byte{2})
+	w2.Commit()
+	if e.m.SnapshotCount() != 1 {
+		t.Fatalf("snapshots = %d", e.m.SnapshotCount())
+	}
+	r.Rollback()
+	if e.m.SnapshotCount() != 0 {
+		t.Fatalf("snapshots = %d after release", e.m.SnapshotCount())
+	}
+	if n := e.buf.VersionCount(); n != 0 {
+		t.Fatalf("versions retained after last snapshot released: %d", n)
+	}
+}
+
+func TestFreedPageRecycledOnlyAfterCommit(t *testing.T) {
+	e := newEnv(t)
+	w := e.m.Begin()
+	id, _ := w.AllocPage()
+	w.WriteAt(id.Ptr(), []byte{9})
+	w.Commit()
+
+	w2 := e.m.Begin()
+	if err := w2.FreePage(id); err != nil {
+		t.Fatal(err)
+	}
+	// Not yet recycled: a concurrent alloc must not get it.
+	w3 := e.m.Begin()
+	other, _ := w3.AllocPage()
+	if other == id {
+		t.Fatal("page recycled before freeing txn committed")
+	}
+	w3.Rollback()
+	w2.Commit()
+	w4 := e.m.Begin()
+	defer w4.Rollback()
+	got, _ := w4.AllocPage()
+	if got != id {
+		t.Fatalf("freed page not recycled: got %v want %v", got, id)
+	}
+}
+
+func TestRollbackReturnsAllocatedPages(t *testing.T) {
+	e := newEnv(t)
+	w := e.m.Begin()
+	id, _ := w.AllocPage()
+	w.Rollback()
+	w2 := e.m.Begin()
+	defer w2.Rollback()
+	got, _ := w2.AllocPage()
+	if got != id {
+		t.Fatalf("aborted alloc not recycled: got %v want %v", got, id)
+	}
+}
+
+func TestDocumentOperationsThroughTx(t *testing.T) {
+	// End-to-end: storage operations through a real transaction.
+	e := newEnv(t)
+	tx := e.m.Begin()
+	doc, err := storage.CreateDoc(tx, 1, "d.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := storage.InsertNode(tx, doc, doc.RootHandle, sas.NilPtr, sas.NilPtr, schema.KindElement, "root", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := storage.InsertNode(tx, doc, el, sas.NilPtr, sas.NilPtr, schema.KindElement, "item", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := storage.VerifyDoc(tx, doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Verify through a read-only snapshot too.
+	r := e.m.BeginReadOnly()
+	defer r.Rollback()
+	if err := storage.VerifyDoc(r, doc); err != nil {
+		t.Fatalf("snapshot verify: %v", err)
+	}
+}
+
+func TestAbortedDocumentInvisible(t *testing.T) {
+	e := newEnv(t)
+	tx := e.m.Begin()
+	doc, err := storage.CreateDoc(tx, 1, "d.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	el, err := storage.InsertNode(tx, doc, doc.RootHandle, sas.NilPtr, sas.NilPtr, schema.KindElement, "root", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = el
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// The schema undo removed the element's schema node.
+	if doc.Schema.Root.Child(schema.KindElement, "root") != nil {
+		t.Fatal("schema growth survived rollback")
+	}
+}
+
+func TestCheckpointPublishesMasterAndResetsSnapArea(t *testing.T) {
+	e := newEnv(t)
+	tx := e.m.Begin()
+	id, _ := tx.AllocPage()
+	tx.WriteAt(id.Ptr(), []byte{7})
+	tx.Commit()
+
+	lsn, err := e.m.Checkpoint(e.snap, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master := e.pf.Master()
+	if master.CheckpointLSN != lsn || master.MetaGen != 3 {
+		t.Fatalf("master = %+v, lsn %d", master, lsn)
+	}
+	if master.CommitTS != e.m.CommitTS() {
+		t.Fatal("commitTS not recorded")
+	}
+	if e.snap.Era() != lsn {
+		t.Fatalf("snap era = %d", e.snap.Era())
+	}
+	// Committed data is on disk.
+	buf := make([]byte, sas.PageSize)
+	if err := e.pf.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 7 {
+		t.Fatal("committed page not flushed by checkpoint")
+	}
+}
+
+func TestCommitTimestampsMonotonic(t *testing.T) {
+	e := newEnv(t)
+	var last uint64
+	for i := 0; i < 10; i++ {
+		tx := e.m.Begin()
+		id, _ := tx.AllocPage()
+		tx.WriteAt(id.Ptr(), []byte{byte(i)})
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if ts := e.m.CommitTS(); ts <= last {
+			t.Fatalf("commitTS not monotonic: %d then %d", last, ts)
+		} else {
+			last = ts
+		}
+	}
+}
+
+func TestUseAfterFinish(t *testing.T) {
+	e := newEnv(t)
+	tx := e.m.Begin()
+	tx.Commit()
+	if err := tx.WriteAt(sas.MakePtr(1, sas.PageSize), []byte{1}); err != ErrDone {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tx.Commit(); err != ErrDone {
+		t.Fatalf("double commit err = %v", err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatalf("rollback after commit should be a no-op, got %v", err)
+	}
+}

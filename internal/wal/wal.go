@@ -1,0 +1,418 @@
+// Package wal implements Sedna's write-ahead log (§6.4). All main
+// operations are logged: physical page writes carry redo information for
+// every byte an update statement changes, and logical catalog records
+// (document creation, descriptive-schema growth, block-list changes, index
+// DDL) carry the in-memory metadata recovery must rebuild. Recovery is
+// redo-only: the persistent snapshot restored in step one is
+// transaction-consistent, so step two replays only the records of
+// transactions that committed after the checkpoint.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"sedna/internal/sas"
+)
+
+// RecType enumerates log record types.
+type RecType byte
+
+// Log record types.
+const (
+	RecBegin RecType = iota + 1
+	RecCommit
+	RecAbort
+	RecPageWrite
+	RecAllocPage
+	RecFreePage
+	RecCreateDoc
+	RecDropDoc
+	RecAddSchemaNode
+	RecSchemaBlocks
+	RecDocMeta
+	RecCreateIndex
+	RecDropIndex
+	RecIndexMeta
+	RecCheckpoint
+)
+
+// Record is the union of all log record payloads; which fields are
+// meaningful depends on Type.
+type Record struct {
+	Type RecType
+	Txn  uint64
+
+	CommitTS uint64 // RecCommit
+
+	Page sas.PageID // RecPageWrite, RecAllocPage, RecFreePage
+	Off  uint32     // RecPageWrite
+	Data []byte     // RecPageWrite
+
+	DocID    uint32 // document-scoped records
+	Name     string // RecCreateDoc, RecCreateIndex, RecDropIndex, RecAddSchemaNode
+	Path     string // RecCreateIndex
+	ParentID uint32 // RecAddSchemaNode
+	NodeID   uint32 // RecAddSchemaNode, RecSchemaBlocks
+	Kind     byte   // RecAddSchemaNode
+
+	Ptrs [5]sas.XPtr // RecSchemaBlocks (first,last), RecDocMeta (root, indirF, indirL, textF, textL)
+}
+
+// ErrCorrupt reports a malformed record in the middle of the log (not a
+// torn tail, which is silently treated as the end).
+var ErrCorrupt = errors.New("wal: corrupt log record")
+
+// Options configures Open.
+type Options struct {
+	// NoSync disables fsync on Flush; tests and benchmarks only.
+	NoSync bool
+}
+
+// Log is an append-only write-ahead log. LSNs are byte offsets of record
+// starts.
+type Log struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	nextLSN uint64
+	flushed uint64 // all records below this LSN are durable
+	noSync  bool
+	path    string
+}
+
+// Open opens or creates the log at path and positions appends at the end of
+// the last complete record.
+func Open(path string, opts Options) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &Log{f: f, noSync: opts.NoSync, path: path}
+	// Find the end of the valid prefix.
+	end, err := l.validEnd()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(int64(end)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(end), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l.nextLSN = end
+	l.flushed = end
+	l.w = bufio.NewWriterSize(f, 1<<16)
+	return l, nil
+}
+
+// validEnd scans the file for the end of the last complete record.
+func (l *Log) validEnd() (uint64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	r := bufio.NewReaderSize(l.f, 1<<16)
+	var pos uint64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return pos, nil // EOF or torn header
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > 1<<24 {
+			return pos, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return pos, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return pos, nil
+		}
+		pos += 8 + uint64(n)
+	}
+}
+
+// Append appends the record and returns its LSN. The record is durable only
+// after Flush.
+func (l *Log) Append(r *Record) (uint64, error) {
+	payload := encodeRecord(r)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn := l.nextLSN
+	if _, err := l.w.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.w.Write(payload); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.nextLSN += 8 + uint64(len(payload))
+	return lsn, nil
+}
+
+// Flush makes all appended records durable (the WAL rule hook).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	if !l.noSync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.flushed = l.nextLSN
+	return nil
+}
+
+// NextLSN returns the LSN the next record will receive.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() uint64 { return l.NextLSN() }
+
+// Scan replays records from the given LSN in order. A torn tail terminates
+// the scan without error; corruption in the middle returns ErrCorrupt.
+// Appends are blocked during the scan.
+func (l *Log) Scan(from uint64, fn func(lsn uint64, r *Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		return err
+	}
+	end := l.nextLSN
+	if _, err := l.f.Seek(int64(from), io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(l.f, 1<<16)
+	pos := from
+	var hdr [8]byte
+	for pos < end {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return nil
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:])
+		crc := binary.LittleEndian.Uint32(hdr[4:])
+		if n == 0 || n > 1<<24 {
+			return nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return nil
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(pos, rec); err != nil {
+			return err
+		}
+		pos += 8 + uint64(n)
+	}
+	// Restore the file position for future appends.
+	_, err := l.f.Seek(int64(l.nextLSN), io.SeekStart)
+	return err
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.w.Flush(); err != nil {
+		l.f.Close()
+		return err
+	}
+	if !l.noSync {
+		if err := l.f.Sync(); err != nil {
+			l.f.Close()
+			return err
+		}
+	}
+	return l.f.Close()
+}
+
+func encodeRecord(r *Record) []byte {
+	b := make([]byte, 0, 64+len(r.Data)+len(r.Name)+len(r.Path))
+	b = append(b, byte(r.Type))
+	b = binary.LittleEndian.AppendUint64(b, r.Txn)
+	switch r.Type {
+	case RecCommit:
+		b = binary.LittleEndian.AppendUint64(b, r.CommitTS)
+	case RecPageWrite:
+		b = binary.LittleEndian.AppendUint32(b, r.Page.Layer)
+		b = binary.LittleEndian.AppendUint32(b, r.Page.Page)
+		b = binary.LittleEndian.AppendUint32(b, r.Off)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(r.Data)))
+		b = append(b, r.Data...)
+	case RecAllocPage, RecFreePage:
+		b = binary.LittleEndian.AppendUint32(b, r.Page.Layer)
+		b = binary.LittleEndian.AppendUint32(b, r.Page.Page)
+	case RecCreateDoc, RecDropDoc:
+		b = binary.LittleEndian.AppendUint32(b, r.DocID)
+		b = appendString(b, r.Name)
+	case RecAddSchemaNode:
+		b = binary.LittleEndian.AppendUint32(b, r.DocID)
+		b = binary.LittleEndian.AppendUint32(b, r.ParentID)
+		b = binary.LittleEndian.AppendUint32(b, r.NodeID)
+		b = append(b, r.Kind)
+		b = appendString(b, r.Name)
+	case RecSchemaBlocks:
+		b = binary.LittleEndian.AppendUint32(b, r.DocID)
+		b = binary.LittleEndian.AppendUint32(b, r.NodeID)
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.Ptrs[0]))
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.Ptrs[1]))
+	case RecDocMeta:
+		b = binary.LittleEndian.AppendUint32(b, r.DocID)
+		for _, p := range r.Ptrs {
+			b = binary.LittleEndian.AppendUint64(b, uint64(p))
+		}
+	case RecCreateIndex:
+		b = binary.LittleEndian.AppendUint32(b, r.DocID)
+		b = appendString(b, r.Name)
+		b = appendString(b, r.Path)
+	case RecDropIndex:
+		b = appendString(b, r.Name)
+	case RecIndexMeta:
+		b = appendString(b, r.Name)
+		b = binary.LittleEndian.AppendUint64(b, uint64(r.Ptrs[0]))
+	case RecBegin, RecAbort, RecCheckpoint:
+		// no payload beyond type+txn
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) u32() uint32 {
+	if d.err != nil || d.pos+4 > len(d.b) {
+		d.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b[d.pos:])
+	d.pos += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil || d.pos+8 > len(d.b) {
+		d.err = ErrCorrupt
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+func (d *decoder) byte1() byte {
+	if d.err != nil || d.pos+1 > len(d.b) {
+		d.err = ErrCorrupt
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil || d.pos+n > len(d.b) {
+		d.err = ErrCorrupt
+		return nil
+	}
+	v := append([]byte(nil), d.b[d.pos:d.pos+n]...)
+	d.pos += n
+	return v
+}
+
+func (d *decoder) str() string {
+	n := d.u32()
+	return string(d.bytes(int(n)))
+}
+
+func decodeRecord(payload []byte) (*Record, error) {
+	if len(payload) < 9 {
+		return nil, ErrCorrupt
+	}
+	d := &decoder{b: payload}
+	r := &Record{Type: RecType(d.byte1()), Txn: d.u64()}
+	switch r.Type {
+	case RecCommit:
+		r.CommitTS = d.u64()
+	case RecPageWrite:
+		r.Page.Layer = d.u32()
+		r.Page.Page = d.u32()
+		r.Off = d.u32()
+		n := d.u32()
+		r.Data = d.bytes(int(n))
+	case RecAllocPage, RecFreePage:
+		r.Page.Layer = d.u32()
+		r.Page.Page = d.u32()
+	case RecCreateDoc, RecDropDoc:
+		r.DocID = d.u32()
+		r.Name = d.str()
+	case RecAddSchemaNode:
+		r.DocID = d.u32()
+		r.ParentID = d.u32()
+		r.NodeID = d.u32()
+		r.Kind = d.byte1()
+		r.Name = d.str()
+	case RecSchemaBlocks:
+		r.DocID = d.u32()
+		r.NodeID = d.u32()
+		r.Ptrs[0] = sas.XPtr(d.u64())
+		r.Ptrs[1] = sas.XPtr(d.u64())
+	case RecDocMeta:
+		r.DocID = d.u32()
+		for i := range r.Ptrs {
+			r.Ptrs[i] = sas.XPtr(d.u64())
+		}
+	case RecCreateIndex:
+		r.DocID = d.u32()
+		r.Name = d.str()
+		r.Path = d.str()
+	case RecDropIndex:
+		r.Name = d.str()
+	case RecIndexMeta:
+		r.Name = d.str()
+		r.Ptrs[0] = sas.XPtr(d.u64())
+	case RecBegin, RecAbort, RecCheckpoint:
+	default:
+		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, r.Type)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return r, nil
+}

@@ -1,0 +1,58 @@
+package xmlgen
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func wellFormed(t *testing.T, s string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed: %v\nhead: %.200s", err, s)
+		}
+	}
+}
+
+func TestLibraryWellFormedAndDeterministic(t *testing.T) {
+	a := LibraryString(100, 42)
+	wellFormed(t, a)
+	b := LibraryString(100, 42)
+	if a != b {
+		t.Fatal("generator not deterministic for equal seeds")
+	}
+	c := LibraryString(100, 43)
+	if a == c {
+		t.Fatal("different seeds produced identical documents")
+	}
+	if strings.Count(a, "<book>") == 0 || strings.Count(a, "<paper>") == 0 {
+		t.Fatal("library must contain books and papers")
+	}
+}
+
+func TestAuctionWellFormed(t *testing.T) {
+	s := AuctionString(20, 10, 3, 7)
+	wellFormed(t, s)
+	for _, want := range []string{"<people>", "<open_auctions>", "<bidder>", "<regions>", "<item "} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("auction missing %s", want)
+		}
+	}
+	if got := strings.Count(s, "<bidder>"); got != 10*3 {
+		t.Fatalf("bidders = %d, want 30", got)
+	}
+}
+
+func TestDeepWellFormed(t *testing.T) {
+	s := DeepString(20, 3)
+	wellFormed(t, s)
+	if strings.Count(s, "<n0>") != 20 {
+		t.Fatalf("depth chain = %d, want 20", strings.Count(s, "<n0>"))
+	}
+}

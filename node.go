@@ -1,0 +1,195 @@
+package sedna
+
+import (
+	"strings"
+
+	"sedna/internal/core"
+	"sedna/internal/schema"
+	"sedna/internal/storage"
+)
+
+// Node is a navigation handle on a stored XML node, valid for the lifetime
+// of its transaction. Navigation follows the storage design directly:
+// children and siblings via direct pointers, the parent through the
+// indirection table, ancestry and order via numbering-scheme labels.
+type Node struct {
+	tx   *Tx
+	doc  *storage.Doc
+	desc storage.Desc
+}
+
+func nodeFor(tx *Tx, doc *storage.Doc) (*Node, error) {
+	d, err := storage.DescOf(tx.inner.Tx, doc.RootHandle)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{tx: tx, doc: doc, desc: d}, nil
+}
+
+// Kind returns the node kind name ("document", "element", "text",
+// "attribute", "comment", "processing-instruction").
+func (n *Node) Kind() string {
+	return n.schemaNode().Kind.String()
+}
+
+// Name returns the node's name (empty for unnamed kinds).
+func (n *Node) Name() string {
+	return n.schemaNode().Name
+}
+
+// Path returns the node's descriptive-schema path, e.g. /library/book.
+func (n *Node) Path() string {
+	return n.schemaNode().Path()
+}
+
+func (n *Node) schemaNode() *schema.Node {
+	return n.doc.Schema.ByID(n.desc.SchemaID)
+}
+
+// Text returns the node's own text value (for text-carrying kinds).
+func (n *Node) Text() (string, error) {
+	b, err := storage.Text(n.tx.inner.Tx, &n.desc)
+	return string(b), err
+}
+
+// StringValue returns the concatenated text of the node's subtree.
+func (n *Node) StringValue() (string, error) {
+	sn := n.schemaNode()
+	if sn.Kind.HasText() {
+		return n.Text()
+	}
+	var sb strings.Builder
+	var rec func(n *Node) error
+	rec = func(cur *Node) error {
+		kids, err := cur.Children()
+		if err != nil {
+			return err
+		}
+		for _, k := range kids {
+			ksn := k.schemaNode()
+			switch {
+			case ksn.Kind == schema.KindText:
+				t, err := k.Text()
+				if err != nil {
+					return err
+				}
+				sb.WriteString(t)
+			case ksn.Kind == schema.KindElement:
+				if err := rec(k); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	err := rec(n)
+	return sb.String(), err
+}
+
+// Parent returns the parent node (nil for the document node).
+func (n *Node) Parent() (*Node, error) {
+	p, ok, err := storage.ParentOf(n.tx.inner.Tx, &n.desc)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &Node{tx: n.tx, doc: n.doc, desc: p}, nil
+}
+
+// Children returns the node's children in document order (attributes
+// included, first per XDM).
+func (n *Node) Children() ([]*Node, error) {
+	var out []*Node
+	c, ok, err := storage.FirstChild(n.tx.inner.Tx, &n.desc)
+	for {
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, &Node{tx: n.tx, doc: n.doc, desc: c})
+		if c.RightSib.IsNil() {
+			return out, nil
+		}
+		c, err = storage.ReadDesc(n.tx.inner.Tx, c.RightSib)
+	}
+}
+
+// Child returns the first child element with the given name, or nil.
+func (n *Node) Child(name string) (*Node, error) {
+	kids, err := n.Children()
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range kids {
+		sn := k.schemaNode()
+		if sn.Kind == schema.KindElement && sn.Name == name {
+			return k, nil
+		}
+	}
+	return nil, nil
+}
+
+// Attr returns the value of the named attribute ("" if absent).
+func (n *Node) Attr(name string) (string, error) {
+	kids, err := n.Children()
+	if err != nil {
+		return "", err
+	}
+	for _, k := range kids {
+		sn := k.schemaNode()
+		if sn.Kind == schema.KindAttribute && sn.Name == name {
+			return k.Text()
+		}
+	}
+	return "", nil
+}
+
+// NextSibling returns the following sibling, or nil.
+func (n *Node) NextSibling() (*Node, error) {
+	if n.desc.RightSib.IsNil() {
+		return nil, nil
+	}
+	d, err := storage.ReadDesc(n.tx.inner.Tx, n.desc.RightSib)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{tx: n.tx, doc: n.doc, desc: d}, nil
+}
+
+// PrevSibling returns the preceding sibling, or nil.
+func (n *Node) PrevSibling() (*Node, error) {
+	if n.desc.LeftSib.IsNil() {
+		return nil, nil
+	}
+	d, err := storage.ReadDesc(n.tx.inner.Tx, n.desc.LeftSib)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{tx: n.tx, doc: n.doc, desc: d}, nil
+}
+
+// IsAncestorOf reports ancestry via numbering-scheme labels — constant-time
+// regardless of tree depth (§4.1.1).
+func (n *Node) IsAncestorOf(m *Node) bool {
+	return n.doc.ID == m.doc.ID && storage.IsAncestorDesc(&n.desc, &m.desc)
+}
+
+// Before reports document order between two nodes of one document.
+func (n *Node) Before(m *Node) bool {
+	return n.doc.ID == m.doc.ID && storage.DocLess(&n.desc, &m.desc)
+}
+
+// XML serializes the node's subtree.
+func (n *Node) XML() (string, error) {
+	var sb strings.Builder
+	if err := core.SerializeNode(n.tx.inner.Tx, n.doc, n.desc, &sb); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}
+
+// SchemaDump renders the document's descriptive schema (Figure 2 shape).
+func (n *Node) SchemaDump() string {
+	return n.doc.Schema.Dump()
+}
