@@ -65,6 +65,15 @@ func (c *Conn) Execute(q string) (*Result, error) {
 	return &Result{Data: resp.Data, Updated: resp.Updated, Message: resp.Message}, nil
 }
 
+// Metrics fetches the server's metrics registry as a plain-text snapshot.
+func (c *Conn) Metrics() (string, error) {
+	resp, err := c.roundTrip(server.MsgMetrics, server.Request{})
+	if err != nil {
+		return "", err
+	}
+	return resp.Data, nil
+}
+
 // Begin starts an explicit transaction on the session.
 func (c *Conn) Begin(readonly bool) error {
 	_, err := c.roundTrip(server.MsgBegin, server.Request{ReadOnly: readonly})

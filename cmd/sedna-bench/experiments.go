@@ -41,7 +41,7 @@ func (s *session) openLoaded(entries int) (*sedna.DB, func(), error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	db, err := bench.OpenDB(dir)
+	db, err := bench.OpenDBMetrics(dir, s.reg)
 	if err != nil {
 		cleanup()
 		return nil, nil, err
@@ -213,17 +213,20 @@ func runE3(s *session) error {
 		return err
 	}
 	defer cleanup()
-	pf, err := pagefile.Open(dir+"/d.sdb", pagefile.Options{NoSync: true})
+	pf, err := pagefile.Open(dir+"/d.sdb", pagefile.Options{NoSync: true, Metrics: s.reg})
 	if err != nil {
 		return err
 	}
 	defer pf.Close()
-	snap, err := pagefile.OpenSnapArea(dir+"/d.snap", pagefile.Options{NoSync: true})
+	snap, err := pagefile.OpenSnapArea(dir+"/d.snap", pagefile.Options{NoSync: true, Metrics: s.reg})
 	if err != nil {
 		return err
 	}
 	defer snap.Close()
-	m := buffer.New(pf, snap, 512)
+	m := buffer.NewWithMetrics(pf, snap, 512, s.reg)
+	// The harness registry is shared across experiments, so fault counts
+	// must be read as deltas against this manager's starting point.
+	st0 := m.Stats()
 	ptrs := make([]sas.XPtr, 256)
 	for i := range ptrs {
 		ptrs[i] = pf.Alloc().Ptr().Add(uint32(i * 8))
@@ -265,7 +268,7 @@ func runE3(s *session) error {
 	s.out.table(
 		[]string{"dereference path", fmt.Sprintf("time (%dM derefs)", derefs/1_000_000), "ns/deref", "faults"},
 		[][]string{
-			{"layer-mapped (SAS=VAS)", dur(layer), fmt.Sprintf("%.1f", float64(layer.Nanoseconds())/derefs), fmt.Sprint(st.Faults)},
+			{"layer-mapped (SAS=VAS)", dur(layer), fmt.Sprintf("%.1f", float64(layer.Nanoseconds())/derefs), fmt.Sprint(st.Faults - st0.Faults)},
 			{"swizzling (hash translate)", dur(swiz), fmt.Sprintf("%.1f", float64(swiz.Nanoseconds())/derefs), "-"},
 		})
 	fmt.Println("expected shape: layer-mapped deref at or below the swizzling cost, with no translation structure")

@@ -8,14 +8,22 @@
 //	sedna-bench            # run everything
 //	sedna-bench -run E3    # one experiment
 //	sedna-bench -scale 2   # larger corpora
+//	sedna-bench -json out.json   # also write machine-readable results
+//
+// With -json, the result file carries one record per experiment plus a full
+// metrics-registry snapshot, so BENCH_*.json files record the internals
+// trajectory (buffer faults, WAL fsyncs, lock waits, ...) of the run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
+
+	"sedna/internal/metrics"
 )
 
 type experiment struct {
@@ -27,6 +35,25 @@ type experiment struct {
 type session struct {
 	scale int
 	out   *tableWriter
+	// reg accumulates internals metrics across every database the
+	// experiments open; it is embedded in the -json result.
+	reg *metrics.Registry
+}
+
+// expResult is one experiment's outcome in the -json report.
+type expResult struct {
+	ID      string  `json:"id"`
+	Name    string  `json:"name"`
+	OK      bool    `json:"ok"`
+	Seconds float64 `json:"seconds"`
+	Error   string  `json:"error,omitempty"`
+}
+
+// benchReport is the -json file layout.
+type benchReport struct {
+	Scale       int              `json:"scale"`
+	Experiments []expResult      `json:"experiments"`
+	Metrics     metrics.Snapshot `json:"metrics"`
 }
 
 var experiments []experiment
@@ -34,9 +61,11 @@ var experiments []experiment
 func main() {
 	runFilter := flag.String("run", "", "run only experiments whose id contains this string")
 	scale := flag.Int("scale", 1, "corpus scale factor")
+	jsonOut := flag.String("json", "", "write machine-readable results (experiments + metrics snapshot) to this file")
 	flag.Parse()
 
-	s := &session{scale: *scale, out: &tableWriter{}}
+	s := &session{scale: *scale, out: &tableWriter{}, reg: metrics.NewRegistry()}
+	var results []expResult
 	failed := 0
 	for _, e := range experiments {
 		if *runFilter != "" && !strings.Contains(e.id, *runFilter) {
@@ -44,12 +73,30 @@ func main() {
 		}
 		fmt.Printf("\n=== %s — %s ===\n", e.id, e.name)
 		start := time.Now()
-		if err := e.run(s); err != nil {
+		err := e.run(s)
+		elapsed := time.Since(start)
+		r := expResult{ID: e.id, Name: e.name, OK: err == nil, Seconds: elapsed.Seconds()}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.id, err)
+			r.Error = err.Error()
 			failed++
-			continue
+		} else {
+			fmt.Printf("(%s)\n", elapsed.Round(time.Millisecond))
 		}
-		fmt.Printf("(%s)\n", time.Since(start).Round(time.Millisecond))
+		results = append(results, r)
+	}
+	if *jsonOut != "" {
+		report := benchReport{Scale: *scale, Experiments: results, Metrics: s.reg.Snapshot()}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sedna-bench: encode json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "sedna-bench: write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
 	}
 	if failed > 0 {
 		os.Exit(1)

@@ -10,6 +10,7 @@
 //	\commit       commit it
 //	\rollback     abort it
 //	\load FILE NAME   bulk-load an XML file as document NAME
+//	\metrics      print the server's metrics snapshot
 //	\q            quit
 package main
 
@@ -107,6 +108,13 @@ func command(c *client.Conn, cmd string) bool {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		} else {
 			fmt.Println("rolled back")
+		}
+	case `\metrics`:
+		text, err := c.Metrics()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Print(text)
 		}
 	case `\load`:
 		if len(fields) != 3 {

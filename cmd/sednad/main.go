@@ -21,6 +21,7 @@ import (
 func main() {
 	dir := flag.String("dir", "sedna-data", "database directory")
 	addr := flag.String("addr", "127.0.0.1:5050", "listen address")
+	metricsAddr := flag.String("metrics-addr", "", "serve plain-text metrics over HTTP on this address (empty = off)")
 	bufPages := flag.Int("buffer-pages", 2048, "buffer pool size in 16KiB pages")
 	noSync := flag.Bool("nosync", false, "disable fsync (unsafe; benchmarks only)")
 	flag.Parse()
@@ -35,11 +36,26 @@ func main() {
 		log.Fatalf("sednad: listen: %v", err)
 	}
 	log.Printf("sednad: serving database %q on %s", *dir, srv.Addr())
+	var ms *server.MetricsServer
+	if *metricsAddr != "" {
+		ms, err = server.ListenMetrics(db.Metrics(), *metricsAddr)
+		if err != nil {
+			srv.Close()
+			db.Close()
+			log.Fatalf("sednad: metrics listen: %v", err)
+		}
+		log.Printf("sednad: metrics on http://%s/metrics", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("sednad: shutting down")
+	if ms != nil {
+		if err := ms.Close(); err != nil {
+			log.Printf("sednad: close metrics endpoint: %v", err)
+		}
+	}
 	if err := srv.Close(); err != nil {
 		log.Printf("sednad: close server: %v", err)
 	}

@@ -10,6 +10,7 @@ import (
 
 	"sedna"
 	"sedna/internal/core"
+	"sedna/internal/metrics"
 	"sedna/internal/query"
 	"sedna/internal/schema"
 	"sedna/internal/storage"
@@ -20,7 +21,13 @@ import (
 // OpenDB creates a throwaway database under dir (NoSync: experiments
 // measure algorithmic behaviour, not fsync latency, unless stated).
 func OpenDB(dir string) (*sedna.DB, error) {
-	return sedna.Open(dir, &sedna.Options{NoSync: true, BufferPages: 8192})
+	return OpenDBMetrics(dir, nil)
+}
+
+// OpenDBMetrics is OpenDB reporting into a shared metrics registry, so a
+// harness run can accumulate internals counters across its databases.
+func OpenDBMetrics(dir string, reg *metrics.Registry) (*sedna.DB, error) {
+	return sedna.Open(dir, &sedna.Options{NoSync: true, BufferPages: 8192, Metrics: reg})
 }
 
 // LoadLibrary loads an n-entry library corpus as document "lib".

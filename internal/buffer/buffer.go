@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sync"
 
+	"sedna/internal/metrics"
 	"sedna/internal/pagefile"
 	"sedna/internal/sas"
 )
@@ -64,7 +65,9 @@ type slotEntry struct {
 	frame *Frame
 }
 
-// Stats counts buffer-manager events; used by the E3/E10/E12 experiments.
+// Stats is the legacy flat view of the buffer-manager counters. The counters
+// themselves live in the metrics registry (family "buffer.*"); Stats remains
+// as a thin compatibility accessor for existing experiment output.
 type Stats struct {
 	Hits          uint64 // dereferences answered by the mapped slot
 	Faults        uint64 // dereferences that missed the slot mapping
@@ -75,6 +78,35 @@ type Stats struct {
 	VersionsMade  uint64 // pre-images pushed
 	VersionsFreed uint64 // pre-images purged
 	SnapshotReads uint64 // page reads resolved for snapshot transactions
+}
+
+// bufMetrics binds the buffer-manager counters in a metrics registry.
+type bufMetrics struct {
+	hits          *metrics.Counter
+	faults        *metrics.Counter
+	diskReads     *metrics.Counter
+	diskWrites    *metrics.Counter
+	evictions     *metrics.Counter
+	snapSaves     *metrics.Counter
+	versionsMade  *metrics.Counter
+	versionsFreed *metrics.Counter
+	snapshotReads *metrics.Counter
+	versionsLive  *metrics.Gauge
+}
+
+func bindBufMetrics(reg *metrics.Registry) bufMetrics {
+	return bufMetrics{
+		hits:          reg.Counter("buffer.hits"),
+		faults:        reg.Counter("buffer.faults"),
+		diskReads:     reg.Counter("buffer.disk_reads"),
+		diskWrites:    reg.Counter("buffer.disk_writes"),
+		evictions:     reg.Counter("buffer.evictions"),
+		snapSaves:     reg.Counter("buffer.snap_saves"),
+		versionsMade:  reg.Counter("buffer.versions_made"),
+		versionsFreed: reg.Counter("buffer.versions_freed"),
+		snapshotReads: reg.Counter("buffer.snapshot_reads"),
+		versionsLive:  reg.Gauge("buffer.versions_live"),
+	}
 }
 
 // Manager is the buffer manager.
@@ -105,16 +137,26 @@ type Manager struct {
 	walFlush    func() error    // flush the WAL; called before any page write (WAL rule)
 	activeSnaps func() []uint64 // timestamps of active snapshots, for purge
 
-	stats Stats
+	reg *metrics.Registry
+	met bufMetrics
 }
 
 // New creates a buffer manager over the data file and snapshot area with
-// room for capacity frames.
+// room for capacity frames, reporting into a private metrics registry.
 func New(pf *pagefile.File, snap *pagefile.SnapArea, capacity int) *Manager {
+	return NewWithMetrics(pf, snap, capacity, nil)
+}
+
+// NewWithMetrics creates a buffer manager that reports its counters into reg
+// under the "buffer." family (nil = a fresh private registry).
+func NewWithMetrics(pf *pagefile.File, snap *pagefile.SnapArea, capacity int, reg *metrics.Registry) *Manager {
 	if capacity < 2 {
 		capacity = 2
 	}
+	reg = metrics.OrNew(reg)
 	return &Manager{
+		reg:      reg,
+		met:      bindBufMetrics(reg),
 		pf:       pf,
 		snap:     snap,
 		capacity: capacity,
@@ -137,12 +179,24 @@ func (m *Manager) SetWALFlush(fn func() error) { m.walFlush = fn }
 // used by version purging.
 func (m *Manager) SetActiveSnapshots(fn func() []uint64) { m.activeSnaps = fn }
 
-// Stats returns a copy of the event counters.
+// Stats returns a flat copy of the event counters — the compatibility
+// accessor over the metrics registry for pre-registry consumers.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	return Stats{
+		Hits:          m.met.hits.Value(),
+		Faults:        m.met.faults.Value(),
+		DiskReads:     m.met.diskReads.Value(),
+		DiskWrites:    m.met.diskWrites.Value(),
+		Evictions:     m.met.evictions.Value(),
+		SnapSaves:     m.met.snapSaves.Value(),
+		VersionsMade:  m.met.versionsMade.Value(),
+		VersionsFreed: m.met.versionsFreed.Value(),
+		SnapshotReads: m.met.snapshotReads.Value(),
+	}
 }
+
+// Metrics returns the registry this manager reports into.
+func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 
 // Capacity returns the frame-pool capacity.
 func (m *Manager) Capacity() int { return m.capacity }
@@ -161,12 +215,12 @@ func (m *Manager) Deref(p sas.XPtr) (*Frame, error) {
 	defer m.mu.Unlock()
 	slot := p.PageIndex()
 	if e := &m.slots[slot]; e.frame != nil && e.layer == p.Layer() {
-		m.stats.Hits++
+		m.met.hits.Inc()
 		m.touch(e.frame)
 		e.frame.pin++
 		return e.frame, nil
 	}
-	m.stats.Faults++
+	m.met.faults.Inc()
 	f, err := m.loadLocked(sas.PageIDOf(p))
 	if err != nil {
 		return nil, err
@@ -219,7 +273,8 @@ func (m *Manager) PinWrite(id sas.PageID, txn uint64) (*Frame, error) {
 		pre := make([]byte, sas.PageSize)
 		copy(pre, f.data)
 		m.chains[id] = append([]pageVersion{{ts: m.pageTS[id], data: pre}}, m.chains[id]...)
-		m.stats.VersionsMade++
+		m.met.versionsMade.Inc()
+		m.met.versionsLive.Inc()
 		m.dirtyBy[id] = txn
 		m.purgeChainLocked(id)
 		tp := m.txnPages[txn]
@@ -263,7 +318,7 @@ func (m *Manager) loadLocked(id sas.PageID) (*Frame, error) {
 		m.dropFrameLocked(f)
 		return nil, err
 	}
-	m.stats.DiskReads++
+	m.met.diskReads.Inc()
 	return f, nil
 }
 
@@ -307,7 +362,7 @@ func (m *Manager) evictOneLocked() error {
 			}
 		}
 		m.dropFrameLocked(f)
-		m.stats.Evictions++
+		m.met.evictions.Inc()
 		return nil
 	}
 	return ErrBusy
@@ -331,12 +386,12 @@ func (m *Manager) flushFrameLocked(f *Frame) error {
 		if err := m.snap.Save(f.id, old); err != nil {
 			return err
 		}
-		m.stats.SnapSaves++
+		m.met.snapSaves.Inc()
 	}
 	if err := m.pf.WritePage(f.id, f.data); err != nil {
 		return err
 	}
-	m.stats.DiskWrites++
+	m.met.diskWrites.Inc()
 	delete(m.dirty, f.id)
 	return nil
 }
@@ -372,7 +427,8 @@ func (m *Manager) RollbackTxn(txn uint64) error {
 			} else {
 				m.chains[id] = chain[1:]
 			}
-			m.stats.VersionsFreed++
+			m.met.versionsFreed.Inc()
+			m.met.versionsLive.Dec()
 			m.dirty[id] = true // disk may hold the discarded bytes
 		} else {
 			// Freshly allocated page (PinNew): no pre-image to restore. The
@@ -399,7 +455,7 @@ func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.stats.SnapshotReads++
+	m.met.snapshotReads.Inc()
 	if m.dirtyBy[id] == 0 && m.pageTS[id] <= snapTS {
 		// The live content is visible.
 		if f := m.frames[id]; f != nil {
@@ -410,7 +466,7 @@ func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
 		if err := m.pf.ReadPage(id, buf); err != nil {
 			return err
 		}
-		m.stats.DiskReads++
+		m.met.diskReads.Inc()
 		return nil
 	}
 	for _, v := range m.chains[id] {
@@ -460,7 +516,8 @@ func (m *Manager) purgeChainLocked(id sas.PageID) {
 		if needed {
 			kept = append(kept, v)
 		} else {
-			m.stats.VersionsFreed++
+			m.met.versionsFreed.Inc()
+			m.met.versionsLive.Dec()
 		}
 		nextTS = v.ts
 	}
@@ -531,6 +588,7 @@ func (m *Manager) DropVersions() {
 	defer m.mu.Unlock()
 	m.chains = make(map[sas.PageID][]pageVersion)
 	m.pageTS = make(map[sas.PageID]uint64)
+	m.met.versionsLive.Set(0)
 }
 
 // InvalidateAll drops every frame and mapping without writing anything.
@@ -552,6 +610,7 @@ func (m *Manager) InvalidateAll() {
 	m.txnPages = make(map[uint64]map[sas.PageID]struct{})
 	m.chains = make(map[sas.PageID][]pageVersion)
 	m.pageTS = make(map[sas.PageID]uint64)
+	m.met.versionsLive.Set(0)
 }
 
 // DirtyCount returns the number of pages whose live content differs from

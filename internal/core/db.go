@@ -10,6 +10,7 @@ import (
 
 	"sedna/internal/buffer"
 	"sedna/internal/lock"
+	"sedna/internal/metrics"
 	"sedna/internal/pagefile"
 	"sedna/internal/sas"
 	"sedna/internal/schema"
@@ -30,6 +31,10 @@ type Options struct {
 	LockTimeout time.Duration
 	// KeepWhitespace retains whitespace-only text nodes during LoadXML.
 	KeepWhitespace bool
+	// Metrics is the registry every layer of this database reports into;
+	// nil creates a fresh registry per database. Sharing one registry across
+	// databases (as sedna-bench does) accumulates counters across them.
+	Metrics *metrics.Registry
 }
 
 // Database is an open Sedna database: one directory holding the data file,
@@ -44,6 +49,7 @@ type Database struct {
 	buf   *buffer.Manager
 	locks *lock.Manager
 	txm   *txn.Manager
+	met   *metrics.Registry
 
 	catalog *Catalog
 
@@ -76,7 +82,8 @@ func Open(dir string, opts Options) (*Database, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("core: open: %w", err)
 	}
-	fileOpts := pagefile.Options{NoSync: opts.NoSync}
+	reg := metrics.OrNew(opts.Metrics)
+	fileOpts := pagefile.Options{NoSync: opts.NoSync, Metrics: reg}
 	pf, err := pagefile.Open(filepath.Join(dir, "data.sdb"), fileOpts)
 	if err != nil {
 		return nil, err
@@ -86,7 +93,7 @@ func Open(dir string, opts Options) (*Database, error) {
 		pf.Close()
 		return nil, err
 	}
-	log, err := wal.Open(filepath.Join(dir, "data.wal"), wal.Options{NoSync: opts.NoSync})
+	log, err := wal.Open(filepath.Join(dir, "data.wal"), wal.Options{NoSync: opts.NoSync, Metrics: reg})
 	if err != nil {
 		snap.Close()
 		pf.Close()
@@ -98,11 +105,12 @@ func Open(dir string, opts Options) (*Database, error) {
 		pf:      pf,
 		snap:    snap,
 		log:     log,
-		buf:     buffer.New(pf, snap, opts.BufferPages),
-		locks:   lock.New(),
+		buf:     buffer.NewWithMetrics(pf, snap, opts.BufferPages, reg),
+		locks:   lock.NewWithMetrics(reg),
+		met:     reg,
 		docVers: newDocVersionStore(),
 	}
-	db.txm = txn.NewManager(db.buf, log, pf, db.locks)
+	db.txm = txn.NewManagerWithMetrics(db.buf, log, pf, db.locks, reg)
 	db.txm.LockTimeout = opts.LockTimeout
 
 	if err := db.recover(); err != nil {
@@ -146,6 +154,10 @@ func (db *Database) TxnManager() *txn.Manager { return db.txm }
 
 // BufferStats returns buffer-manager counters.
 func (db *Database) BufferStats() buffer.Stats { return db.buf.Stats() }
+
+// Metrics returns the observability registry every layer of this database
+// reports into.
+func (db *Database) Metrics() *metrics.Registry { return db.met }
 
 // Buffer exposes the buffer manager (benchmarks and tools).
 func (db *Database) Buffer() *buffer.Manager { return db.buf }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"sedna/internal/metrics"
 )
 
 // Mode is a lock mode.
@@ -56,14 +58,44 @@ type Manager struct {
 	table   map[string]*entry
 	held    map[uint64]map[string]Mode // per-txn held locks, for ReleaseAll
 	waitFor map[uint64]map[uint64]bool // wait-for graph edges
+
+	met lockMetrics
 }
 
-// New creates a lock manager.
+// lockMetrics binds the lock-manager counters in a metrics registry.
+type lockMetrics struct {
+	acquires  *metrics.Counter
+	waits     *metrics.Counter
+	waitNs    *metrics.Histogram
+	deadlocks *metrics.Counter
+	timeouts  *metrics.Counter
+	waiting   *metrics.Gauge
+}
+
+func bindLockMetrics(reg *metrics.Registry) lockMetrics {
+	return lockMetrics{
+		acquires:  reg.Counter("lock.acquires"),
+		waits:     reg.Counter("lock.waits"),
+		waitNs:    reg.Histogram("lock.wait_ns"),
+		deadlocks: reg.Counter("lock.deadlock_aborts"),
+		timeouts:  reg.Counter("lock.timeouts"),
+		waiting:   reg.Gauge("lock.waiting"),
+	}
+}
+
+// New creates a lock manager reporting into a private metrics registry.
 func New() *Manager {
+	return NewWithMetrics(nil)
+}
+
+// NewWithMetrics creates a lock manager that reports its counters into reg
+// under the "lock." family (nil = a fresh private registry).
+func NewWithMetrics(reg *metrics.Registry) *Manager {
 	return &Manager{
 		table:   make(map[string]*entry),
 		held:    make(map[uint64]map[string]Mode),
 		waitFor: make(map[uint64]map[uint64]bool),
+		met:     bindLockMetrics(metrics.OrNew(reg)),
 	}
 }
 
@@ -80,11 +112,13 @@ func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration)
 	}
 	if cur, ok := e.holders[txn]; ok && cur >= mode {
 		m.mu.Unlock()
+		m.met.acquires.Inc()
 		return nil
 	}
 	if m.grantable(e, txn, mode) {
 		m.grant(e, txn, res, mode)
 		m.mu.Unlock()
+		m.met.acquires.Inc()
 		return nil
 	}
 	// Must wait: record wait-for edges and check for a cycle.
@@ -95,9 +129,17 @@ func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration)
 		m.removeRequest(e, req)
 		m.clearEdges(txn)
 		m.mu.Unlock()
+		m.met.deadlocks.Inc()
 		return fmt.Errorf("%w: txn %d on %q", ErrDeadlock, txn, res)
 	}
 	m.mu.Unlock()
+	m.met.waits.Inc()
+	m.met.waiting.Inc()
+	waitStart := time.Now()
+	defer func() {
+		m.met.waiting.Dec()
+		m.met.waitNs.Observe(time.Since(waitStart))
+	}()
 
 	var timer <-chan time.Time
 	if timeout > 0 {
@@ -107,6 +149,7 @@ func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration)
 	}
 	select {
 	case <-req.ready:
+		m.met.acquires.Inc()
 		return nil
 	case <-timer:
 		m.mu.Lock()
@@ -114,11 +157,13 @@ func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration)
 		select {
 		case <-req.ready:
 			// Granted in the race window.
+			m.met.acquires.Inc()
 			return nil
 		default:
 		}
 		m.removeRequest(e, req)
 		m.clearEdges(txn)
+		m.met.timeouts.Inc()
 		return fmt.Errorf("%w: txn %d on %q", ErrTimeout, txn, res)
 	}
 }

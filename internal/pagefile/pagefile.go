@@ -15,6 +15,7 @@ import (
 	"os"
 	"sync"
 
+	"sedna/internal/metrics"
 	"sedna/internal/sas"
 )
 
@@ -52,6 +53,27 @@ type File struct {
 	freeList  []sas.PageID
 
 	noSync bool
+
+	met pfMetrics
+}
+
+// pfMetrics binds the pagefile counters in a metrics registry.
+type pfMetrics struct {
+	reads   *metrics.Counter
+	writes  *metrics.Counter
+	extends *metrics.Counter // fresh pages handed out past the high-water mark
+	frees   *metrics.Counter
+	syncs   *metrics.Counter
+}
+
+func bindPfMetrics(reg *metrics.Registry) pfMetrics {
+	return pfMetrics{
+		reads:   reg.Counter("pagefile.reads"),
+		writes:  reg.Counter("pagefile.writes"),
+		extends: reg.Counter("pagefile.extends"),
+		frees:   reg.Counter("pagefile.frees"),
+		syncs:   reg.Counter("pagefile.syncs"),
+	}
 }
 
 // Options configures Open.
@@ -59,6 +81,9 @@ type Options struct {
 	// NoSync disables fsync. Only for tests and benchmarks that accept
 	// losing durability on power failure.
 	NoSync bool
+	// Metrics is the registry the file reports into under the "pagefile."
+	// family (nil = a fresh private registry).
+	Metrics *metrics.Registry
 }
 
 // MasterPageID is the identity of the master page; it is never handed out by
@@ -71,7 +96,7 @@ func Open(path string, opts Options) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pagefile: open: %w", err)
 	}
-	pf := &File{f: f, path: path, noSync: opts.NoSync}
+	pf := &File{f: f, path: path, noSync: opts.NoSync, met: bindPfMetrics(metrics.OrNew(opts.Metrics))}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
@@ -141,6 +166,7 @@ func (pf *File) syncLocked() error {
 	if err := pf.f.Sync(); err != nil {
 		return fmt.Errorf("pagefile: sync: %w", err)
 	}
+	pf.met.syncs.Inc()
 	return nil
 }
 
@@ -167,6 +193,7 @@ func (pf *File) ReadPage(id sas.PageID, buf []byte) error {
 	if len(buf) != sas.PageSize {
 		return fmt.Errorf("pagefile: ReadPage buffer is %d bytes", len(buf))
 	}
+	pf.met.reads.Inc()
 	off := int64(id.GlobalIndex()) * sas.PageSize
 	n, err := pf.f.ReadAt(buf, off)
 	if err == io.EOF || (err == nil && n == len(buf)) {
@@ -194,6 +221,7 @@ func (pf *File) WritePage(id sas.PageID, data []byte) error {
 	if len(data) != sas.PageSize {
 		return fmt.Errorf("pagefile: WritePage buffer is %d bytes", len(data))
 	}
+	pf.met.writes.Inc()
 	off := int64(id.GlobalIndex()) * sas.PageSize
 	if _, err := pf.f.WriteAt(data, off); err != nil {
 		return fmt.Errorf("pagefile: write %v: %w", id, err)
@@ -220,6 +248,7 @@ func (pf *File) Alloc() sas.PageID {
 	}
 	id := sas.PageIDFromGlobal(pf.nextAlloc)
 	pf.nextAlloc++
+	pf.met.extends.Inc()
 	return id
 }
 
@@ -234,6 +263,7 @@ func (pf *File) Free(id sas.PageID) {
 	pf.mu.Lock()
 	defer pf.mu.Unlock()
 	pf.freeList = append(pf.freeList, id)
+	pf.met.frees.Inc()
 }
 
 // NextAlloc returns the live next-allocation cursor.

@@ -42,10 +42,10 @@ func TestMultiKeyOrderBy(t *testing.T) {
 func TestNestedPredicates(t *testing.T) {
 	db := testDB(t)
 	cases := map[string]string{
-		`doc("lib")/library/book[issue[publisher = "Addison-Wesley"]]/author/text()`: `Date`,
-		`count(doc("lib")/library/book[author][year])`:                               `2`,
-		`doc("lib")/library/book[count(author) = 3]/title/text()`:                    `Foundations of Databases`,
-		`count(doc("lib")//book[not(issue)])`:                                        `1`,
+		`doc("lib")/library/book[issue[publisher = "Addison-Wesley"]]/author/text()`:                   `Date`,
+		`count(doc("lib")/library/book[author][year])`:                                                 `2`,
+		`doc("lib")/library/book[count(author) = 3]/title/text()`:                                      `Foundations of Databases`,
+		`count(doc("lib")//book[not(issue)])`:                                                          `1`,
 		`doc("lib")/library/*[title = "A Relational Model for Large Shared Data Banks"]/author/text()`: `Codd`,
 	}
 	for src, want := range cases {
@@ -58,12 +58,12 @@ func TestNestedPredicates(t *testing.T) {
 func TestExplicitAxesWithKindTests(t *testing.T) {
 	db := testDB(t)
 	cases := map[string]string{
-		`count(doc("lib")/library/book[1]/child::text())`:          `0`,
-		`count(doc("lib")/library/book[1]/descendant::text())`:     `5`,
-		`count(doc("lib")/descendant::element(book))`:              `2`,
-		`count(doc("lib")//year/self::year)`:                       `4`,
-		`count(doc("lib")//year/self::book)`:                       `0`,
-		`count(doc("lib")/library/book[2]/issue/child::node())`:    `2`,
+		`count(doc("lib")/library/book[1]/child::text())`:       `0`,
+		`count(doc("lib")/library/book[1]/descendant::text())`:  `5`,
+		`count(doc("lib")/descendant::element(book))`:           `2`,
+		`count(doc("lib")//year/self::year)`:                    `4`,
+		`count(doc("lib")//year/self::book)`:                    `0`,
+		`count(doc("lib")/library/book[2]/issue/child::node())`: `2`,
 	}
 	for src, want := range cases {
 		if got := q(t, db, src); got != want {
@@ -76,11 +76,11 @@ func TestAttributesInUpdatesAndQueries(t *testing.T) {
 	db := testDB(t)
 	upd(t, db, `UPDATE insert <review stars="5" by="alice"/> into doc("lib")/library/book[1]`)
 	cases := map[string]string{
-		`doc("lib")//review/@stars`:                        `5`,
-		`string(doc("lib")//review/@by)`:                   `alice`,
-		`count(doc("lib")//review[@stars = 5])`:            `1`,
-		`count(doc("lib")//review/attribute::node())`:      `2`,
-		`name(doc("lib")//review/@by)`:                     `by`,
+		`doc("lib")//review/@stars`:                   `5`,
+		`string(doc("lib")//review/@by)`:              `alice`,
+		`count(doc("lib")//review[@stars = 5])`:       `1`,
+		`count(doc("lib")//review/attribute::node())`: `2`,
+		`name(doc("lib")//review/@by)`:                `by`,
 	}
 	for src, want := range cases {
 		if got := q(t, db, src); got != want {
@@ -134,11 +134,11 @@ func TestRuntimeErrors(t *testing.T) {
 func TestEmptySequencePropagation(t *testing.T) {
 	db := testDB(t)
 	cases := map[string]string{
-		`count(doc("lib")//missing + 1)`:        ``, // empty arithmetic → empty... count is 1 of empty? count(()) = 0
-		`1 + count(doc("lib")//missing)`:        `1`,
-		`string(doc("lib")//missing)`:           ``,
-		`count(doc("lib")//missing/text())`:     `0`,
-		`empty(doc("lib")//missing)`:            `true`,
+		`count(doc("lib")//missing + 1)`:    ``, // empty arithmetic → empty... count is 1 of empty? count(()) = 0
+		`1 + count(doc("lib")//missing)`:    `1`,
+		`string(doc("lib")//missing)`:       ``,
+		`count(doc("lib")//missing/text())`: `0`,
+		`empty(doc("lib")//missing)`:        `true`,
 	}
 	// Fix the first case: count of an empty arithmetic result is 0.
 	cases[`count(doc("lib")//missing + 1)`] = `0`
@@ -198,11 +198,11 @@ func TestIndexScanAfterReplace(t *testing.T) {
 func TestDistinctValuesAndQuantifiersOverDocs(t *testing.T) {
 	db := testDB(t)
 	cases := map[string]string{
-		`count(distinct-values(doc("lib")//author/text()))`:                    `5`,
-		`some $y in doc("lib")//year satisfies number($y) < 1980`:              `true`,
-		`every $y in doc("lib")//year satisfies number($y) > 1900`:             `true`,
-		`every $b in doc("lib")//book satisfies exists($b/author)`:             `true`,
-		`some $b in doc("lib")//book satisfies count($b/author) > 5`:           `false`,
+		`count(distinct-values(doc("lib")//author/text()))`:          `5`,
+		`some $y in doc("lib")//year satisfies number($y) < 1980`:    `true`,
+		`every $y in doc("lib")//year satisfies number($y) > 1900`:   `true`,
+		`every $b in doc("lib")//book satisfies exists($b/author)`:   `true`,
+		`some $b in doc("lib")//book satisfies count($b/author) > 5`: `false`,
 	}
 	for src, want := range cases {
 		if got := q(t, db, src); got != want {

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"sedna/internal/core"
+	"sedna/internal/metrics"
 )
 
 // ExecCtx carries everything one statement execution needs: the engine
@@ -14,6 +16,11 @@ import (
 type ExecCtx struct {
 	Tx    *core.Tx
 	Stats ExecStats
+
+	// Profile records how the last statement executed through this context
+	// spent its time and what it touched; it is also pushed into the
+	// database's metrics registry.
+	Profile metrics.QueryProfile
 
 	// NoRewrite disables the optimizing rewriter (baseline for E5–E8).
 	NoRewrite bool
@@ -49,22 +56,84 @@ type Result struct {
 // paper's full pipe: parser → static analysis → optimizing rewriter →
 // executor (§5).
 func Execute(ctx *ExecCtx, src string) (*Result, error) {
+	parseStart := time.Now()
 	st, err := Parse(src)
+	parseNs := time.Since(parseStart).Nanoseconds()
 	if err != nil {
+		if reg := ctx.registry(); reg != nil {
+			reg.Counter("query.errors").Inc()
+		}
 		return nil, err
 	}
+	ctx.Profile.ParseNs = parseNs
 	return ExecuteStatement(ctx, st)
 }
 
+// registry resolves the metrics registry of the database the context's
+// transaction runs against (nil when unavailable).
+func (ctx *ExecCtx) registry() *metrics.Registry {
+	if ctx.Tx == nil || ctx.Tx.DB() == nil {
+		return nil
+	}
+	return ctx.Tx.DB().Metrics()
+}
+
+// statementKind labels a statement for the per-kind latency histograms.
+func statementKind(st *Statement) string {
+	switch {
+	case st.Update != nil:
+		return "update"
+	case st.DDL != nil:
+		return "ddl"
+	default:
+		return "query"
+	}
+}
+
 // ExecuteStatement runs an already-parsed statement (benchmarks reuse
-// parsed trees to isolate execution cost).
+// parsed trees to isolate execution cost) and publishes the statement's
+// latency and profile into the database's metrics registry.
 func ExecuteStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
+	kind := statementKind(st)
+	ctx.Profile.Kind = kind
+	ctx.Profile.OptimizeNs = 0
+	ctx.Profile.ExecNs = 0
+	ctx.Profile.PagesTouched = 0
+	ctx.Profile.NodesYielded = 0
+	pagesBefore := ctx.Tx.PagesTouched()
+	start := time.Now()
+	res, err := executeStatement(ctx, st)
+	ctx.Profile.PagesTouched = ctx.Tx.PagesTouched() - pagesBefore
+	if res != nil {
+		if len(res.Items) > 0 {
+			ctx.Profile.NodesYielded = len(res.Items)
+		} else {
+			ctx.Profile.NodesYielded = res.Updated
+		}
+	}
+	if reg := ctx.registry(); reg != nil {
+		if err != nil {
+			reg.Counter("query.errors").Inc()
+		} else {
+			reg.Counter("query.statements").Inc()
+			reg.Histogram("query." + kind + "_ns").Observe(time.Since(start))
+			reg.RecordProfile(ctx.Profile)
+		}
+	}
+	return res, err
+}
+
+func executeStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
+	optStart := time.Now()
 	if err := Analyze(st); err != nil {
 		return nil, err
 	}
 	if !ctx.NoRewrite {
 		Rewrite(st)
 	}
+	ctx.Profile.OptimizeNs = time.Since(optStart).Nanoseconds()
+	execStart := time.Now()
+	defer func() { ctx.Profile.ExecNs = time.Since(execStart).Nanoseconds() }()
 	if ctx.NoVirtualCtors {
 		clearVirtualFlags(st)
 	}

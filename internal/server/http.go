@@ -1,0 +1,41 @@
+package server
+
+import (
+	"net"
+	"net/http"
+
+	"sedna/internal/metrics"
+)
+
+// MetricsServer serves a registry's text snapshot over plain HTTP, for
+// scraping with curl or any monitoring agent. It exposes:
+//
+//	GET /metrics  — the sorted "name value" snapshot (text/plain)
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenMetrics starts an HTTP metrics endpoint on addr (e.g.
+// "127.0.0.1:5051"). Pass the same registry the database and governor report
+// into.
+func ListenMetrics(reg *metrics.Registry, addr string) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Snapshot().WriteText(w)
+	})
+	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ms.srv.Serve(ln)
+	return ms, nil
+}
+
+// Addr returns the bound listen address.
+func (ms *MetricsServer) Addr() string { return ms.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (ms *MetricsServer) Close() error { return ms.srv.Close() }

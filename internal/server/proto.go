@@ -9,6 +9,7 @@ package server
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 )
@@ -21,6 +22,7 @@ const (
 	MsgCommit   = 4
 	MsgRollback = 5
 	MsgQuit     = 6
+	MsgMetrics  = 7
 )
 
 // Message types (server → client).
@@ -32,6 +34,11 @@ const (
 
 // maxMessage bounds a single protocol message.
 const maxMessage = 64 << 20
+
+// ErrTooLarge reports a framed message whose declared length exceeds the
+// protocol limit. The server answers it with a protocol error before closing
+// the connection; everything after the oversized header is unparseable.
+var ErrTooLarge = errors.New("server: message exceeds size limit")
 
 // Request is a client message payload.
 type Request struct {
@@ -71,7 +78,7 @@ func ReadMsg(r io.Reader, payload any) (byte, error) {
 	}
 	n := binary.LittleEndian.Uint32(hdr[:4])
 	if n > maxMessage {
-		return 0, fmt.Errorf("server: message of %d bytes exceeds limit", n)
+		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {

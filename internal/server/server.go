@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 
 	"sedna/internal/core"
+	"sedna/internal/metrics"
 	"sedna/internal/query"
 )
 
@@ -23,13 +24,46 @@ type Governor struct {
 	sessions map[uint64]*Session
 	nextSess uint64
 
-	txnsStarted atomic.Uint64
+	met govMetrics
 }
 
-// NewGovernor creates a governor over an open database.
-func NewGovernor(db *core.Database) *Governor {
-	return &Governor{db: db, sessions: make(map[uint64]*Session)}
+// govMetrics binds the server/governor counters in a metrics registry.
+type govMetrics struct {
+	sessOpened  *metrics.Counter
+	sessClosed  *metrics.Counter
+	sessActive  *metrics.Gauge
+	txnsStarted *metrics.Counter
+	commands    *metrics.Counter
+	errors      *metrics.Counter
+	bytesIn     *metrics.Counter
+	bytesOut    *metrics.Counter
 }
+
+func bindGovMetrics(reg *metrics.Registry) govMetrics {
+	return govMetrics{
+		sessOpened:  reg.Counter("server.sessions_opened"),
+		sessClosed:  reg.Counter("server.sessions_closed"),
+		sessActive:  reg.Gauge("server.sessions_active"),
+		txnsStarted: reg.Counter("server.txns_started"),
+		commands:    reg.Counter("server.commands"),
+		errors:      reg.Counter("server.errors"),
+		bytesIn:     reg.Counter("server.bytes_in"),
+		bytesOut:    reg.Counter("server.bytes_out"),
+	}
+}
+
+// NewGovernor creates a governor over an open database; it reports into the
+// database's metrics registry under the "server." family.
+func NewGovernor(db *core.Database) *Governor {
+	return &Governor{
+		db:       db,
+		sessions: make(map[uint64]*Session),
+		met:      bindGovMetrics(db.Metrics()),
+	}
+}
+
+// Metrics returns the registry shared by the governor and its database.
+func (g *Governor) Metrics() *metrics.Registry { return g.db.Metrics() }
 
 // DB returns the managed database.
 func (g *Governor) DB() *core.Database { return g.db }
@@ -42,7 +76,7 @@ func (g *Governor) SessionCount() int {
 }
 
 // TxnsStarted returns how many transactions the governor has created.
-func (g *Governor) TxnsStarted() uint64 { return g.txnsStarted.Load() }
+func (g *Governor) TxnsStarted() uint64 { return g.met.txnsStarted.Value() }
 
 func (g *Governor) register(s *Session) {
 	g.mu.Lock()
@@ -50,12 +84,18 @@ func (g *Governor) register(s *Session) {
 	g.nextSess++
 	s.id = g.nextSess
 	g.sessions[s.id] = s
+	g.met.sessOpened.Inc()
+	g.met.sessActive.Set(int64(len(g.sessions)))
 }
 
 func (g *Governor) unregister(s *Session) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	delete(g.sessions, s.id)
+	if _, ok := g.sessions[s.id]; ok {
+		delete(g.sessions, s.id)
+		g.met.sessClosed.Inc()
+		g.met.sessActive.Set(int64(len(g.sessions)))
+	}
 }
 
 // Session is the connection component: it encapsulates one client session
@@ -96,7 +136,7 @@ func (s *Session) Begin(readonly bool) error {
 }
 
 func (s *Session) beginTx(readonly bool) (*core.Tx, error) {
-	s.gov.txnsStarted.Add(1)
+	s.gov.met.txnsStarted.Inc()
 	if readonly {
 		return s.gov.db.BeginReadOnly()
 	}
@@ -216,8 +256,31 @@ func (s *Server) acceptLoop() {
 	}
 }
 
-func (s *Server) handle(conn net.Conn) {
-	defer conn.Close()
+// countingConn tallies wire traffic into the server byte counters.
+type countingConn struct {
+	net.Conn
+	in, out *metrics.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.in.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.out.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (s *Server) handle(rawConn net.Conn) {
+	defer rawConn.Close()
+	conn := &countingConn{Conn: rawConn, in: s.gov.met.bytesIn, out: s.gov.met.bytesOut}
 	sess := s.gov.NewSession()
 	defer sess.Close()
 
@@ -225,8 +288,15 @@ func (s *Server) handle(conn net.Conn) {
 		var req Request
 		typ, err := ReadMsg(conn, &req)
 		if err != nil {
+			if errors.Is(err, ErrTooLarge) {
+				// Report the protocol violation before dropping the
+				// connection; the stream is unparseable past this point.
+				s.gov.met.errors.Inc()
+				WriteMsg(conn, MsgError, &Response{Error: err.Error()})
+			}
 			return // connection gone
 		}
+		s.gov.met.commands.Inc()
 		var resp *Response
 		var rerr error
 		switch typ {
@@ -243,6 +313,8 @@ func (s *Server) handle(conn net.Conn) {
 		case MsgRollback:
 			rerr = sess.Rollback()
 			resp = &Response{Message: "rolled back"}
+		case MsgMetrics:
+			resp = &Response{Data: s.gov.Metrics().Text()}
 		case MsgQuit:
 			WriteMsg(conn, MsgOK, &Response{Message: "bye"})
 			return
@@ -250,13 +322,14 @@ func (s *Server) handle(conn net.Conn) {
 			rerr = fmt.Errorf("server: unknown message type %d", typ)
 		}
 		if rerr != nil {
+			s.gov.met.errors.Inc()
 			if err := WriteMsg(conn, MsgError, &Response{Error: rerr.Error()}); err != nil {
 				return
 			}
 			continue
 		}
 		out := byte(MsgOK)
-		if typ == MsgExecute {
+		if typ == MsgExecute || typ == MsgMetrics {
 			out = MsgResult
 		}
 		if err := WriteMsg(conn, out, resp); err != nil {

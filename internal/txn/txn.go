@@ -14,10 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sedna/internal/buffer"
 	"sedna/internal/lock"
+	"sedna/internal/metrics"
 	"sedna/internal/pagefile"
 	"sedna/internal/sas"
 	"sedna/internal/schema"
@@ -53,11 +55,40 @@ type Manager struct {
 	// LockTimeout bounds lock waits; 0 disables. Deadlocks are detected
 	// eagerly regardless.
 	LockTimeout time.Duration
+
+	met txnMetrics
+}
+
+// txnMetrics binds the transaction-manager counters in a metrics registry.
+type txnMetrics struct {
+	begins       *metrics.Counter
+	beginsRO     *metrics.Counter
+	commits      *metrics.Counter
+	aborts       *metrics.Counter
+	snapAdvances *metrics.Counter
+	activeSnaps  *metrics.Gauge
+}
+
+func bindTxnMetrics(reg *metrics.Registry) txnMetrics {
+	return txnMetrics{
+		begins:       reg.Counter("txn.begins"),
+		beginsRO:     reg.Counter("txn.begins_readonly"),
+		commits:      reg.Counter("txn.commits"),
+		aborts:       reg.Counter("txn.aborts"),
+		snapAdvances: reg.Counter("txn.snapshot_advances"),
+		activeSnaps:  reg.Gauge("txn.active_snapshots"),
+	}
 }
 
 // NewManager creates a transaction manager and wires the buffer manager's
-// WAL-rule and snapshot hooks.
+// WAL-rule and snapshot hooks, reporting into a private metrics registry.
 func NewManager(buf *buffer.Manager, log *wal.Log, pf *pagefile.File, locks *lock.Manager) *Manager {
+	return NewManagerWithMetrics(buf, log, pf, locks, nil)
+}
+
+// NewManagerWithMetrics creates a transaction manager that reports its
+// counters into reg under the "txn." family (nil = a fresh private registry).
+func NewManagerWithMetrics(buf *buffer.Manager, log *wal.Log, pf *pagefile.File, locks *lock.Manager, reg *metrics.Registry) *Manager {
 	m := &Manager{
 		buf:       buf,
 		log:       log,
@@ -65,6 +96,7 @@ func NewManager(buf *buffer.Manager, log *wal.Log, pf *pagefile.File, locks *loc
 		locks:     locks,
 		snapshots: make(map[uint64]int),
 		commitTS:  pf.Master().CommitTS,
+		met:       bindTxnMetrics(metrics.OrNew(reg)),
 	}
 	buf.SetWALFlush(log.Flush)
 	buf.SetActiveSnapshots(m.activeSnapshots)
@@ -147,7 +179,17 @@ type Tx struct {
 	touched map[*storage.Doc]bool
 
 	cts uint64 // commit timestamp, set by Commit
+
+	// pagesTouched counts page-level accesses (reads and writes) made
+	// through this transaction; the query executor reads it to attribute
+	// page traffic to statements. Atomic so profile readers never race a
+	// transaction running on another goroutine.
+	pagesTouched atomic.Uint64
 }
+
+// PagesTouched returns the number of page accesses (reads + writes) the
+// transaction has performed.
+func (tx *Tx) PagesTouched() uint64 { return tx.pagesTouched.Load() }
 
 func (tx *Tx) touch(doc *storage.Doc) {
 	if tx.touched == nil {
@@ -173,6 +215,7 @@ func (m *Manager) Begin() *Tx {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextTxn++
+	m.met.begins.Inc()
 	tx := &Tx{m: m, id: m.nextTxn}
 	if _, err := m.log.Append(&wal.Record{Type: wal.RecBegin, Txn: tx.id}); err != nil {
 		// Log append failures surface at the first write; Begin stays
@@ -190,8 +233,14 @@ func (m *Manager) BeginReadOnly() *Tx {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.nextTxn++
+	m.met.beginsRO.Inc()
 	ts := m.commitTS
+	if m.snapshots[ts] == 0 {
+		// First reader at this timestamp: the system's snapshot advanced.
+		m.met.snapAdvances.Inc()
+	}
 	m.snapshots[ts]++
+	m.met.activeSnaps.Set(int64(len(m.snapshots)))
 	return &Tx{m: m, id: m.nextTxn, readonly: true, snapTS: ts, cache: make(map[sas.PageID][]byte)}
 }
 
@@ -224,6 +273,7 @@ func (tx *Tx) ReadPage(p sas.XPtr, fn func(page []byte) error) error {
 	if p.IsNil() {
 		return errors.New("txn: read of nil pointer")
 	}
+	tx.pagesTouched.Add(1)
 	if tx.readonly {
 		id := sas.PageIDOf(p)
 		page := tx.cache[id]
@@ -270,6 +320,7 @@ func (tx *Tx) WriteAt(p sas.XPtr, data []byte) error {
 	}
 	copy(f.Data()[off:], data)
 	tx.m.buf.Unpin(f)
+	tx.pagesTouched.Add(1)
 	return nil
 }
 
@@ -373,6 +424,7 @@ func (tx *Tx) Commit() error {
 		m.pf.Free(id)
 	}
 	m.locks.ReleaseAll(tx.id)
+	m.met.commits.Inc()
 	return nil
 }
 
@@ -400,6 +452,7 @@ func (tx *Tx) Rollback() error {
 	}
 	m.log.Append(&wal.Record{Type: wal.RecAbort, Txn: tx.id})
 	m.locks.ReleaseAll(tx.id)
+	m.met.aborts.Inc()
 	return nil
 }
 
@@ -409,6 +462,7 @@ func (m *Manager) releaseSnapshot(ts uint64) {
 	if m.snapshots[ts] <= 0 {
 		delete(m.snapshots, ts)
 	}
+	m.met.activeSnaps.Set(int64(len(m.snapshots)))
 	m.mu.Unlock()
 	// Purging old versions is piggybacked on snapshot release; the check is
 	// cheap (§6.1).

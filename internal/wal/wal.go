@@ -17,7 +17,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
+	"sedna/internal/metrics"
 	"sedna/internal/sas"
 )
 
@@ -73,6 +75,9 @@ var ErrCorrupt = errors.New("wal: corrupt log record")
 type Options struct {
 	// NoSync disables fsync on Flush; tests and benchmarks only.
 	NoSync bool
+	// Metrics is the registry the log reports into under the "wal." family
+	// (nil = a fresh private registry).
+	Metrics *metrics.Registry
 }
 
 // Log is an append-only write-ahead log. LSNs are byte offsets of record
@@ -85,6 +90,27 @@ type Log struct {
 	flushed uint64 // all records below this LSN are durable
 	noSync  bool
 	path    string
+
+	met walMetrics
+}
+
+// walMetrics binds the write-ahead-log counters in a metrics registry.
+type walMetrics struct {
+	appends     *metrics.Counter
+	appendBytes *metrics.Counter
+	flushes     *metrics.Counter
+	fsyncs      *metrics.Counter
+	fsyncNs     *metrics.Histogram
+}
+
+func bindWalMetrics(reg *metrics.Registry) walMetrics {
+	return walMetrics{
+		appends:     reg.Counter("wal.appends"),
+		appendBytes: reg.Counter("wal.append_bytes"),
+		flushes:     reg.Counter("wal.flushes"),
+		fsyncs:      reg.Counter("wal.fsyncs"),
+		fsyncNs:     reg.Histogram("wal.fsync_ns"),
+	}
 }
 
 // Open opens or creates the log at path and positions appends at the end of
@@ -94,7 +120,7 @@ func Open(path string, opts Options) (*Log, error) {
 	if err != nil {
 		return nil, fmt.Errorf("wal: open: %w", err)
 	}
-	l := &Log{f: f, noSync: opts.NoSync, path: path}
+	l := &Log{f: f, noSync: opts.NoSync, path: path, met: bindWalMetrics(metrics.OrNew(opts.Metrics))}
 	// Find the end of the valid prefix.
 	end, err := l.validEnd()
 	if err != nil {
@@ -160,6 +186,8 @@ func (l *Log) Append(r *Record) (uint64, error) {
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.nextLSN += 8 + uint64(len(payload))
+	l.met.appends.Inc()
+	l.met.appendBytes.Add(8 + uint64(len(payload)))
 	return lsn, nil
 }
 
@@ -167,13 +195,17 @@ func (l *Log) Append(r *Record) (uint64, error) {
 func (l *Log) Flush() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.met.flushes.Inc()
 	if err := l.w.Flush(); err != nil {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	if !l.noSync {
+		start := time.Now()
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
+		l.met.fsyncs.Inc()
+		l.met.fsyncNs.Observe(time.Since(start))
 	}
 	l.flushed = l.nextLSN
 	return nil

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Tier-1 gate for sedna-go: formatting, vet, build, full tests, and race
+# tests on the concurrency-sensitive packages. CI and pre-commit both run
+# exactly this script; a clean exit is the definition of "tier-1 green".
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrency-sensitive packages) =="
+go test -race ./internal/metrics ./internal/buffer ./internal/lock ./internal/server
+
+echo "check.sh: all green"

@@ -33,6 +33,7 @@ import (
 
 	"sedna/internal/buffer"
 	"sedna/internal/core"
+	"sedna/internal/metrics"
 	"sedna/internal/query"
 )
 
@@ -48,6 +49,10 @@ type Options struct {
 	LockTimeout time.Duration
 	// KeepWhitespace retains whitespace-only text nodes when loading XML.
 	KeepWhitespace bool
+	// Metrics is the observability registry every layer reports into; nil
+	// gives the database a fresh private registry. Pass a shared registry to
+	// accumulate counters across databases (as sedna-bench does).
+	Metrics *metrics.Registry
 }
 
 // DB is an open database.
@@ -67,6 +72,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		NoSync:         o.NoSync,
 		LockTimeout:    o.LockTimeout,
 		KeepWhitespace: o.KeepWhitespace,
+		Metrics:        o.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -96,8 +102,15 @@ func Restore(backupDir, destDir string, upto int) error {
 }
 
 // BufferStats returns buffer-manager counters (hits, faults, evictions,
-// snapshot saves, versioning events).
+// snapshot saves, versioning events) — a flat compatibility view over the
+// "buffer." family of Metrics().
 func (db *DB) BufferStats() buffer.Stats { return db.inner.BufferStats() }
+
+// Metrics returns the observability registry every layer of this database
+// reports into: counters, gauges and latency histograms for the buffer
+// manager, pagefile, WAL, transaction manager, lock manager and query
+// executor.
+func (db *DB) Metrics() *metrics.Registry { return db.inner.Metrics() }
 
 // LogSize returns the write-ahead log size in bytes.
 func (db *DB) LogSize() uint64 { return db.inner.LogSize() }
