@@ -4,11 +4,14 @@
 package client
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"time"
 
 	"sedna/internal/server"
+	"sedna/internal/trace"
 )
 
 // Conn is a client session with a sedna-go server.
@@ -72,6 +75,30 @@ func (c *Conn) Metrics() (string, error) {
 		return "", err
 	}
 	return resp.Data, nil
+}
+
+// SlowLog fetches the server's retained slow-query traces, newest first
+// (n > 0 bounds the count, 0 = all).
+func (c *Conn) SlowLog(n int) ([]*trace.Trace, error) {
+	resp, err := c.roundTrip(server.MsgSlowLog, server.Request{N: n})
+	if err != nil {
+		return nil, err
+	}
+	var traces []*trace.Trace
+	if err := json.Unmarshal([]byte(resp.Data), &traces); err != nil {
+		return nil, fmt.Errorf("client: slowlog: %w", err)
+	}
+	return traces, nil
+}
+
+// SetSlowThreshold retunes the server's slow-query threshold at runtime
+// (0 disables the slow log).
+func (c *Conn) SetSlowThreshold(d time.Duration) error {
+	_, err := c.roundTrip(server.MsgSlowLog, server.Request{
+		SetThreshold: true,
+		ThresholdNs:  d.Nanoseconds(),
+	})
+	return err
 }
 
 // Begin starts an explicit transaction on the session.

@@ -11,7 +11,12 @@
 //	\rollback     abort it
 //	\load FILE NAME   bulk-load an XML file as document NAME
 //	\metrics      print the server's metrics snapshot
+//	\slowlog [N]  print the last N retained slow-query traces (default all)
+//	\slowthreshold DUR   set the slow-query threshold (e.g. 50ms; 0 = off)
 //	\q            quit
+//
+// EXPLAIN <stmt> and PROFILE <stmt> are regular statements — end them with
+// ';' like any query.
 package main
 
 import (
@@ -19,7 +24,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"sedna/client"
 )
@@ -115,6 +122,43 @@ func command(c *client.Conn, cmd string) bool {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		} else {
 			fmt.Print(text)
+		}
+	case `\slowlog`:
+		n := 0
+		if len(fields) > 1 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 {
+				fmt.Fprintln(os.Stderr, `usage: \slowlog [N]`)
+				return true
+			}
+			n = v
+		}
+		traces, err := c.SlowLog(n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		if len(traces) == 0 {
+			fmt.Println("slow-query log is empty")
+			return true
+		}
+		for _, tr := range traces {
+			fmt.Print(tr.Text())
+		}
+	case `\slowthreshold`:
+		if len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, `usage: \slowthreshold DUR (e.g. 50ms; 0 = off)`)
+			return true
+		}
+		d, err := time.ParseDuration(fields[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		if err := c.SetSlowThreshold(d); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Printf("slow-query threshold set to %s\n", d)
 		}
 	case `\load`:
 		if len(fields) != 3 {

@@ -21,14 +21,26 @@ import (
 func main() {
 	dir := flag.String("dir", "sedna-data", "database directory")
 	addr := flag.String("addr", "127.0.0.1:5050", "listen address")
-	metricsAddr := flag.String("metrics-addr", "", "serve plain-text metrics over HTTP on this address (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve metrics, the slow-query log and pprof over HTTP on this address (empty = off)")
 	bufPages := flag.Int("buffer-pages", 2048, "buffer pool size in 16KiB pages")
 	noSync := flag.Bool("nosync", false, "disable fsync (unsafe; benchmarks only)")
+	traceOn := flag.Bool("trace", false, "record a span trace for every statement")
+	slowThreshold := flag.Duration("slow-query-threshold", 0, "log statements at or above this duration to the slow-query log (0 = off; runtime-settable via SLOWLOG)")
+	slowLog := flag.String("slow-log", "", "slow-query log path (default <dir>/slowlog.jsonl)")
 	flag.Parse()
 
-	db, err := core.Open(*dir, core.Options{BufferPages: *bufPages, NoSync: *noSync})
+	db, err := core.Open(*dir, core.Options{
+		BufferPages:        *bufPages,
+		NoSync:             *noSync,
+		TraceEnabled:       *traceOn,
+		SlowQueryThreshold: *slowThreshold,
+		SlowLogPath:        *slowLog,
+	})
 	if err != nil {
 		log.Fatalf("sednad: open: %v", err)
+	}
+	if *slowThreshold > 0 {
+		log.Printf("sednad: slow-query threshold %s", slowThreshold.String())
 	}
 	srv, err := server.Listen(db, *addr)
 	if err != nil {
@@ -38,13 +50,13 @@ func main() {
 	log.Printf("sednad: serving database %q on %s", *dir, srv.Addr())
 	var ms *server.MetricsServer
 	if *metricsAddr != "" {
-		ms, err = server.ListenMetrics(db.Metrics(), *metricsAddr)
+		ms, err = server.ListenMetrics(db.Metrics(), db.Tracer(), *metricsAddr)
 		if err != nil {
 			srv.Close()
 			db.Close()
 			log.Fatalf("sednad: metrics listen: %v", err)
 		}
-		log.Printf("sednad: metrics on http://%s/metrics", ms.Addr())
+		log.Printf("sednad: metrics on http://%s/metrics, slow-query log on /slowlog, profiles on /debug/pprof/", ms.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

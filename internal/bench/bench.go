@@ -80,7 +80,7 @@ func Query(db *sedna.DB, src string, rewrite bool) (string, query.ExecStats, err
 	if err := res.Serialize(&sb); err != nil {
 		return "", query.ExecStats{}, err
 	}
-	return sb.String(), ctx.Stats, nil
+	return sb.String(), ctx.Profile.ExecStats, nil
 }
 
 // QueryCtor runs a query with virtual constructors on or off.
@@ -100,7 +100,7 @@ func QueryCtor(db *sedna.DB, src string, virtual bool) (string, query.ExecStats,
 	if err := res.Serialize(&sb); err != nil {
 		return "", query.ExecStats{}, err
 	}
-	return sb.String(), ctx.Stats, nil
+	return sb.String(), ctx.Profile.ExecStats, nil
 }
 
 // SchemaStats reports descriptive-schema conciseness for a document:

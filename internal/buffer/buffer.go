@@ -208,8 +208,16 @@ func (m *Manager) Capacity() int { return m.capacity }
 // emulated memory fault handled by loading the page. The frame is returned
 // pinned; the caller must Unpin it.
 func (m *Manager) Deref(p sas.XPtr) (*Frame, error) {
+	f, _, err := m.DerefTrack(p)
+	return f, err
+}
+
+// DerefTrack is Deref additionally reporting whether the dereference
+// faulted (layer mismatch → page load), so callers can attribute faults to
+// the active trace span.
+func (m *Manager) DerefTrack(p sas.XPtr) (*Frame, bool, error) {
 	if p.IsNil() {
-		return nil, errors.New("buffer: dereference of nil XPtr")
+		return nil, false, errors.New("buffer: dereference of nil XPtr")
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -218,16 +226,16 @@ func (m *Manager) Deref(p sas.XPtr) (*Frame, error) {
 		m.met.hits.Inc()
 		m.touch(e.frame)
 		e.frame.pin++
-		return e.frame, nil
+		return e.frame, false, nil
 	}
 	m.met.faults.Inc()
 	f, err := m.loadLocked(sas.PageIDOf(p))
 	if err != nil {
-		return nil, err
+		return nil, true, err
 	}
 	m.slots[slot] = slotEntry{layer: p.Layer(), frame: f}
 	f.pin++
-	return f, nil
+	return f, true, nil
 }
 
 // Pin loads (if necessary) and pins the page. Unlike Deref it does not go

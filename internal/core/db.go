@@ -15,6 +15,7 @@ import (
 	"sedna/internal/sas"
 	"sedna/internal/schema"
 	"sedna/internal/storage"
+	"sedna/internal/trace"
 	"sedna/internal/txn"
 	"sedna/internal/wal"
 )
@@ -31,6 +32,16 @@ type Options struct {
 	LockTimeout time.Duration
 	// KeepWhitespace retains whitespace-only text nodes during LoadXML.
 	KeepWhitespace bool
+	// TraceEnabled records a span tree for every query into the tracer's
+	// in-memory ring (also settable at runtime via DB.Tracer()).
+	TraceEnabled bool
+	// SlowQueryThreshold marks queries at or above this duration as slow,
+	// retaining their full trace and appending them to the slow-query log
+	// (0 = disabled).
+	SlowQueryThreshold time.Duration
+	// SlowLogPath overrides where slow queries are appended as JSONL
+	// (default <dir>/slowlog.jsonl).
+	SlowLogPath string
 	// Metrics is the registry every layer of this database reports into;
 	// nil creates a fresh registry per database. Sharing one registry across
 	// databases (as sedna-bench does) accumulates counters across them.
@@ -43,13 +54,14 @@ type Database struct {
 	dir  string
 	opts Options
 
-	pf    *pagefile.File
-	snap  *pagefile.SnapArea
-	log   *wal.Log
-	buf   *buffer.Manager
-	locks *lock.Manager
-	txm   *txn.Manager
-	met   *metrics.Registry
+	pf     *pagefile.File
+	snap   *pagefile.SnapArea
+	log    *wal.Log
+	buf    *buffer.Manager
+	locks  *lock.Manager
+	txm    *txn.Manager
+	met    *metrics.Registry
+	tracer *trace.Tracer
 
 	catalog *Catalog
 
@@ -113,6 +125,16 @@ func Open(dir string, opts Options) (*Database, error) {
 	db.txm = txn.NewManagerWithMetrics(db.buf, log, pf, db.locks, reg)
 	db.txm.LockTimeout = opts.LockTimeout
 
+	db.tracer = trace.New(reg)
+	db.tracer.SetEnabled(opts.TraceEnabled)
+	db.tracer.SetSlowThreshold(opts.SlowQueryThreshold)
+	slowLog := opts.SlowLogPath
+	if slowLog == "" {
+		slowLog = filepath.Join(dir, "slowlog.jsonl")
+	}
+	db.tracer.SetSlowLogPath(slowLog)
+	db.locks.SetTracer(db.tracer)
+
 	if err := db.recover(); err != nil {
 		db.closeFiles()
 		return nil, err
@@ -121,6 +143,9 @@ func Open(dir string, opts Options) (*Database, error) {
 }
 
 func (db *Database) closeFiles() {
+	if db.tracer != nil {
+		db.tracer.Close()
+	}
 	db.log.Close()
 	db.snap.Close()
 	db.pf.Close()
@@ -158,6 +183,11 @@ func (db *Database) BufferStats() buffer.Stats { return db.buf.Stats() }
 // Metrics returns the observability registry every layer of this database
 // reports into.
 func (db *Database) Metrics() *metrics.Registry { return db.met }
+
+// Tracer returns the per-query tracer. Query execution starts traces on it;
+// the server and shell use it to flip tracing on, adjust the slow-query
+// threshold and browse retained traces.
+func (db *Database) Tracer() *trace.Tracer { return db.tracer }
 
 // Buffer exposes the buffer manager (benchmarks and tools).
 func (db *Database) Buffer() *buffer.Manager { return db.buf }
@@ -216,6 +246,7 @@ func (db *Database) Close() error {
 	db.mu.Lock()
 	db.closed = true
 	db.mu.Unlock()
+	db.tracer.Close()
 	if err := db.log.Close(); err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sedna/internal/metrics"
+	"sedna/internal/trace"
 )
 
 // Mode is a lock mode.
@@ -59,8 +60,15 @@ type Manager struct {
 	held    map[uint64]map[string]Mode // per-txn held locks, for ReleaseAll
 	waitFor map[uint64]map[uint64]bool // wait-for graph edges
 
+	// tracer resolves the active trace span of a waiting transaction, so
+	// lock waits appear in its trace. Only consulted on the wait path.
+	tracer *trace.Tracer
+
 	met lockMetrics
 }
+
+// SetTracer wires the tracer lock waits report spans into (nil disables).
+func (m *Manager) SetTracer(t *trace.Tracer) { m.tracer = t }
 
 // lockMetrics binds the lock-manager counters in a metrics registry.
 type lockMetrics struct {
@@ -132,11 +140,35 @@ func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration)
 		m.met.deadlocks.Inc()
 		return fmt.Errorf("%w: txn %d on %q", ErrDeadlock, txn, res)
 	}
+	// Pick one conflicting transaction to name in the trace: an
+	// incompatible holder if any, else whoever holds the resource.
+	var blocker uint64
+	for t, held := range e.holders {
+		if t == txn {
+			continue
+		}
+		if blocker == 0 {
+			blocker = t
+		}
+		if mode == Exclusive || held == Exclusive {
+			blocker = t
+			break
+		}
+	}
 	m.mu.Unlock()
 	m.met.waits.Inc()
 	m.met.waiting.Inc()
+	// This goroutine is the waiting transaction's own statement goroutine,
+	// so attaching a span to its active trace is race-free.
+	ws := m.tracer.ActiveFor(txn).Child("lock.wait")
+	ws.SetStr("resource", res)
+	ws.SetStr("mode", mode.String())
+	if blocker != 0 {
+		ws.SetInt("blocking_txn", int64(blocker))
+	}
 	waitStart := time.Now()
 	defer func() {
+		ws.End()
 		m.met.waiting.Dec()
 		m.met.waitNs.Observe(time.Since(waitStart))
 	}()
@@ -150,6 +182,7 @@ func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration)
 	select {
 	case <-req.ready:
 		m.met.acquires.Inc()
+		ws.SetStr("outcome", "granted")
 		return nil
 	case <-timer:
 		m.mu.Lock()
@@ -158,12 +191,14 @@ func (m *Manager) Lock(txn uint64, res string, mode Mode, timeout time.Duration)
 		case <-req.ready:
 			// Granted in the race window.
 			m.met.acquires.Inc()
+			ws.SetStr("outcome", "granted")
 			return nil
 		default:
 		}
 		m.removeRequest(e, req)
 		m.clearEdges(txn)
 		m.met.timeouts.Inc()
+		ws.SetStr("outcome", "timeout")
 		return fmt.Errorf("%w: txn %d on %q", ErrTimeout, txn, res)
 	}
 }

@@ -158,15 +158,32 @@ type HistogramValue struct {
 	P99Ns int64  `json:"p99_ns"`
 }
 
+// ExecStats counts executor events; the E5/E8/E9 experiments read them.
+// The counters accumulate over an execution context's lifetime (a context
+// may run several statements).
+type ExecStats struct {
+	DDOOps      uint64 `json:"ddo_ops,omitempty"`      // explicit DDO operations executed
+	DeepCopies  uint64 `json:"deep_copies,omitempty"`  // stored subtrees deep-copied by constructors
+	VirtualRefs uint64 `json:"virtual_refs,omitempty"` // deep copies avoided by virtual constructors
+	BytesCopied uint64 `json:"bytes_copied,omitempty"` // text bytes copied during deep copies
+	SchemaScans uint64 `json:"schema_scans,omitempty"` // schema-node block-list scans started
+	LazyHits    uint64 `json:"lazy_hits,omitempty"`    // lazy for-clause evaluations answered from cache
+	IndexScans  uint64 `json:"index_scans,omitempty"`  // index-scan() lookups
+}
+
 // QueryProfile records how one statement execution spent its time and what
-// it touched; the query executor fills one per statement.
+// it touched; the query executor fills one per statement. The embedded
+// ExecStats folds the executor's event counters into the same record, so
+// timings and events are accounted once.
 type QueryProfile struct {
-	Kind         string `json:"kind"` // "query", "update" or "ddl"
+	Kind         string `json:"kind"` // "query", "update", "ddl", "explain" or "profile"
 	ParseNs      int64  `json:"parse_ns"`
 	OptimizeNs   int64  `json:"optimize_ns"`
 	ExecNs       int64  `json:"exec_ns"`
 	PagesTouched uint64 `json:"pages_touched"`
 	NodesYielded int    `json:"nodes_yielded"`
+
+	ExecStats
 }
 
 // profileRing bounds how many recent query profiles a registry retains.

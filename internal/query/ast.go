@@ -265,14 +265,45 @@ type Prolog struct {
 	Funcs map[string]*FuncDecl
 }
 
-// Statement is a parsed query, update or DDL statement.
+// Statement is a parsed query, update, DDL, EXPLAIN or PROFILE statement.
 type Statement struct {
 	Prolog *Prolog
 
 	// Exactly one of the following is set.
-	Query  Expr
-	Update *Update
-	DDL    *DDL
+	Query   Expr
+	Update  *Update
+	DDL     *DDL
+	Explain *ExplainStmt
+
+	// Source is the statement's original text (what the parser consumed);
+	// traces and the slow-query log carry it.
+	Source string
+
+	// Rewrites records which optimizing-rewriter rules fired on this
+	// statement, in application order; EXPLAIN renders them.
+	Rewrites []string
+}
+
+// ExplainStmt wraps the statement under an EXPLAIN or PROFILE keyword.
+// EXPLAIN renders the inner statement's operation tree after rewriting,
+// without executing it; PROFILE executes the inner statement under a forced
+// trace and renders the resulting span tree.
+type ExplainStmt struct {
+	Stmt    *Statement
+	Profile bool
+}
+
+// ReadOnly reports whether executing the statement needs no update
+// transaction: queries and plain EXPLAIN are read-only, PROFILE follows the
+// statement it executes.
+func (st *Statement) ReadOnly() bool {
+	if st.Explain != nil {
+		if st.Explain.Profile {
+			return st.Explain.Stmt.ReadOnly()
+		}
+		return true
+	}
+	return st.Query != nil
 }
 
 // UpdateKind enumerates XUpdate statement kinds (§3, [17]-style syntax).

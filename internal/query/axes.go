@@ -266,7 +266,7 @@ type rangeScan struct {
 // precedes the range are skipped via their headers (the partial order makes
 // this sound).
 func newRangeScan(env *env, doc *storage.Doc, sn *schema.Node, anc nid.Label) (*rangeScan, error) {
-	env.ctx.Stats.SchemaScans++
+	env.ctx.Profile.SchemaScans++
 	d, ok, err := storage.FirstInRange(env.r, sn, anc)
 	if err != nil {
 		return nil, err

@@ -68,9 +68,9 @@ func evalElementCtor(c *ElementCtor, e *env, f *focus) (*TempNode, error) {
 					ref := e.ctx.newTempNode(schema.KindElement, "")
 					ref.Ref = x
 					t.append(ref)
-					e.ctx.Stats.VirtualRefs++
+					e.ctx.Profile.VirtualRefs++
 				} else {
-					e.ctx.Stats.DeepCopies++
+					e.ctx.Profile.DeepCopies++
 					cp, err := deepCopyStored(e, x)
 					if err != nil {
 						return nil, err

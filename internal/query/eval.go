@@ -6,19 +6,14 @@ import (
 	"sort"
 
 	"sedna/internal/lock"
+	"sedna/internal/metrics"
 	"sedna/internal/storage"
 )
 
-// ExecStats counts executor events; the E5/E8/E9 experiments read them.
-type ExecStats struct {
-	DDOOps      uint64 // explicit DDO operations executed
-	DeepCopies  uint64 // stored subtrees deep-copied by constructors
-	VirtualRefs uint64 // deep copies avoided by virtual constructors
-	BytesCopied uint64 // text bytes copied during deep copies
-	SchemaScans uint64 // schema-node block-list scans started
-	LazyHits    uint64 // lazy for-clause evaluations answered from cache
-	IndexScans  uint64 // index-scan() lookups
-}
+// ExecStats counts executor events; the E5/E8/E9 experiments read them. It
+// lives in the metrics package (embedded in QueryProfile) so each event is
+// accounted once; the alias keeps the query-level name.
+type ExecStats = metrics.ExecStats
 
 // env is the dynamic evaluation context: storage access plus variable
 // bindings (an immutable chain so extension is O(1)).
@@ -249,7 +244,31 @@ func evalDoc(e *env, name string) ([]Item, error) {
 // evalStep evaluates a location step: for every context node the axis
 // produces matches in document order, predicates filter per context, and a
 // final DDO pass runs only when the rewriter could not prove it redundant.
+// evalStep is the physical location-step operator. When a trace is open it
+// wraps the evaluation in a span reporting nodes yielded and pages touched
+// (including nested input steps); the disabled path costs one nil check.
 func evalStep(s *Step, e *env, f *focus) ([]Item, error) {
+	if e.ctx.span == nil {
+		return evalStepInner(s, e, f)
+	}
+	sp := e.ctx.pushSpan("step " + stepText(s))
+	var pages0 uint64
+	if e.ctx.Tx != nil {
+		pages0 = e.ctx.Tx.PagesTouched()
+	}
+	out, err := evalStepInner(s, e, f)
+	sp.SetInt("nodes", int64(len(out)))
+	if e.ctx.Tx != nil {
+		sp.SetInt("pages", int64(e.ctx.Tx.PagesTouched()-pages0))
+	}
+	if s.Structural {
+		sp.SetStr("mode", "structural")
+	}
+	e.ctx.popSpan(sp)
+	return out, err
+}
+
+func evalStepInner(s *Step, e *env, f *focus) ([]Item, error) {
 	if s.Structural {
 		return evalStructural(s, e, f)
 	}
@@ -290,7 +309,7 @@ func evalStep(s *Step, e *env, f *focus) ([]Item, error) {
 		out = append(out, local...)
 	}
 	if s.NeedDDO && len(out) > 1 {
-		e.ctx.Stats.DDOOps++
+		e.ctx.Profile.DDOOps++
 		return ddo(out)
 	}
 	return out, nil
@@ -432,7 +451,7 @@ func evalFLWOR(fl *FLWOR, e *env, f *focus) ([]Item, error) {
 func evalClauseSeq(cl *ForClause, e *env, f *focus) ([]Item, error) {
 	if cl.Lazy {
 		if v, ok := e.ctx.lazyCache[cl.CacheID]; ok {
-			e.ctx.Stats.LazyHits++
+			e.ctx.Profile.LazyHits++
 			return v, nil
 		}
 	}
@@ -656,7 +675,7 @@ func evalBinary(n *Binary, e *env, f *focus) ([]Item, error) {
 		}
 		switch n.Op {
 		case OpUnion:
-			e.ctx.Stats.DDOOps++
+			e.ctx.Profile.DDOOps++
 			return ddo(append(append([]Item{}, l...), r...))
 		case OpIntersect:
 			keys := make(map[any]bool)
@@ -671,7 +690,7 @@ func evalBinary(n *Binary, e *env, f *focus) ([]Item, error) {
 					out = append(out, it)
 				}
 			}
-			e.ctx.Stats.DDOOps++
+			e.ctx.Profile.DDOOps++
 			return ddo(out)
 		default:
 			keys := make(map[any]bool)
@@ -686,7 +705,7 @@ func evalBinary(n *Binary, e *env, f *focus) ([]Item, error) {
 					out = append(out, it)
 				}
 			}
-			e.ctx.Stats.DDOOps++
+			e.ctx.Profile.DDOOps++
 			return ddo(out)
 		}
 	default:

@@ -8,17 +8,18 @@ import (
 
 	"sedna/internal/core"
 	"sedna/internal/metrics"
+	"sedna/internal/trace"
 )
 
 // ExecCtx carries everything one statement execution needs: the engine
 // transaction, the function table, rewriter switches (used by the ablation
 // experiments) and runtime statistics.
 type ExecCtx struct {
-	Tx    *core.Tx
-	Stats ExecStats
+	Tx *core.Tx
 
 	// Profile records how the last statement executed through this context
-	// spent its time and what it touched; it is also pushed into the
+	// spent its time and what it touched (the embedded ExecStats counters
+	// accumulate over the context's lifetime); it is also pushed into the
 	// database's metrics registry.
 	Profile metrics.QueryProfile
 
@@ -37,11 +38,98 @@ type ExecCtx struct {
 	globalEnv *env // prolog-variable scope, used by function bodies
 	lazyCache map[int][]Item
 	tempOrd   uint64
+
+	// Tracing state: the database's tracer, the open trace (nil when not
+	// tracing — the disabled path's single check) and the innermost open
+	// span, which storage-layer events attach to via the transaction.
+	tracer *trace.Tracer
+	trace  *trace.Trace
+	span   *trace.Span
 }
 
 // NewExecCtx creates an execution context over an engine transaction.
 func NewExecCtx(tx *core.Tx) *ExecCtx {
-	return &ExecCtx{Tx: tx, lazyCache: make(map[int][]Item)}
+	ctx := &ExecCtx{Tx: tx, lazyCache: make(map[int][]Item)}
+	if tx != nil && tx.DB() != nil {
+		ctx.tracer = tx.DB().Tracer()
+	}
+	return ctx
+}
+
+// StartTrace opens a trace for the statement about to execute, unless one
+// is already open or tracing is off. The caller that opened a trace
+// finishes it with FinishTrace; a server session opens it before execution
+// and finishes after commit so commit-time fsyncs land in the trace.
+func (ctx *ExecCtx) StartTrace(src string) {
+	if ctx.trace != nil {
+		return
+	}
+	ctx.adoptTrace(ctx.tracer.Start(src))
+}
+
+// adoptTrace installs an open trace on the context and attaches its root to
+// the transaction and the tracer's active-span table.
+func (ctx *ExecCtx) adoptTrace(tr *trace.Trace) {
+	if tr == nil {
+		return
+	}
+	ctx.trace = tr
+	ctx.span = tr.Root
+	if ctx.Tx != nil {
+		ctx.Tx.SetTraceSpan(tr.Root)
+		ctx.tracer.SetActive(ctx.Tx.ID(), tr.Root)
+	}
+}
+
+// FinishTrace completes the open trace (no-op when none is open).
+func (ctx *ExecCtx) FinishTrace() {
+	if ctx.trace == nil {
+		return
+	}
+	if ctx.Tx != nil {
+		ctx.Tx.SetTraceSpan(nil)
+		ctx.tracer.SetActive(ctx.Tx.ID(), nil)
+	}
+	ctx.tracer.Finish(ctx.trace)
+	ctx.trace = nil
+	ctx.span = nil
+}
+
+// Trace returns the context's open trace (nil when not tracing).
+func (ctx *ExecCtx) Trace() *trace.Trace { return ctx.trace }
+
+// RecordParse attributes an already-measured parse time to the profile and,
+// when tracing, to a finished "parse" child span.
+func (ctx *ExecCtx) RecordParse(ns int64) {
+	ctx.Profile.ParseNs = ns
+	if ctx.trace != nil {
+		ctx.trace.Root.ChildDone("parse", ns)
+	}
+}
+
+// pushSpan opens a child of the current span and makes it current; returns
+// nil (and stays free of side effects) when not tracing.
+func (ctx *ExecCtx) pushSpan(name string) *trace.Span {
+	c := ctx.span.Child(name)
+	if c != nil {
+		ctx.span = c
+		if ctx.Tx != nil {
+			ctx.Tx.SetTraceSpan(c)
+		}
+	}
+	return c
+}
+
+// popSpan ends a span opened by pushSpan and restores its parent.
+func (ctx *ExecCtx) popSpan(c *trace.Span) {
+	if c == nil {
+		return
+	}
+	c.End()
+	ctx.span = c.Parent()
+	if ctx.Tx != nil {
+		ctx.Tx.SetTraceSpan(ctx.span)
+	}
 }
 
 // Result is the outcome of one statement.
@@ -56,17 +144,28 @@ type Result struct {
 // paper's full pipe: parser → static analysis → optimizing rewriter →
 // executor (§5).
 func Execute(ctx *ExecCtx, src string) (*Result, error) {
+	owned := ctx.trace == nil
+	if owned {
+		ctx.StartTrace(src)
+	}
 	parseStart := time.Now()
 	st, err := Parse(src)
 	parseNs := time.Since(parseStart).Nanoseconds()
 	if err != nil {
+		if owned {
+			ctx.FinishTrace()
+		}
 		if reg := ctx.registry(); reg != nil {
 			reg.Counter("query.errors").Inc()
 		}
 		return nil, err
 	}
-	ctx.Profile.ParseNs = parseNs
-	return ExecuteStatement(ctx, st)
+	ctx.RecordParse(parseNs)
+	res, err := ExecuteStatement(ctx, st)
+	if owned {
+		ctx.FinishTrace()
+	}
+	return res, err
 }
 
 // registry resolves the metrics registry of the database the context's
@@ -81,6 +180,10 @@ func (ctx *ExecCtx) registry() *metrics.Registry {
 // statementKind labels a statement for the per-kind latency histograms.
 func statementKind(st *Statement) string {
 	switch {
+	case st.Explain != nil && st.Explain.Profile:
+		return "profile"
+	case st.Explain != nil:
+		return "explain"
 	case st.Update != nil:
 		return "update"
 	case st.DDL != nil:
@@ -94,6 +197,10 @@ func statementKind(st *Statement) string {
 // parsed trees to isolate execution cost) and publishes the statement's
 // latency and profile into the database's metrics registry.
 func ExecuteStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
+	owned := ctx.trace == nil
+	if owned {
+		ctx.StartTrace(st.Source)
+	}
 	kind := statementKind(st)
 	ctx.Profile.Kind = kind
 	ctx.Profile.OptimizeNs = 0
@@ -120,20 +227,38 @@ func ExecuteStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
 			reg.RecordProfile(ctx.Profile)
 		}
 	}
+	if owned {
+		ctx.FinishTrace()
+	}
 	return res, err
 }
 
 func executeStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
+	if st.Explain != nil {
+		if st.Explain.Profile {
+			return execProfile(ctx, st.Explain.Stmt)
+		}
+		return execExplain(ctx, st.Explain.Stmt)
+	}
 	optStart := time.Now()
+	asp := ctx.pushSpan("analyze")
 	if err := Analyze(st); err != nil {
+		ctx.popSpan(asp)
 		return nil, err
 	}
+	ctx.popSpan(asp)
 	if !ctx.NoRewrite {
+		rsp := ctx.pushSpan("rewrite")
 		Rewrite(st)
+		ctx.popSpan(rsp)
 	}
 	ctx.Profile.OptimizeNs = time.Since(optStart).Nanoseconds()
 	execStart := time.Now()
-	defer func() { ctx.Profile.ExecNs = time.Since(execStart).Nanoseconds() }()
+	esp := ctx.pushSpan("execute")
+	defer func() {
+		ctx.Profile.ExecNs = time.Since(execStart).Nanoseconds()
+		ctx.popSpan(esp)
+	}()
 	if ctx.NoVirtualCtors {
 		clearVirtualFlags(st)
 	}
@@ -175,6 +300,57 @@ func executeStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("query: empty statement")
 	}
+}
+
+// execExplain analyzes and rewrites the inner statement without executing
+// it and yields the annotated operation tree as a single string item.
+func execExplain(ctx *ExecCtx, inner *Statement) (*Result, error) {
+	if err := Analyze(inner); err != nil {
+		return nil, err
+	}
+	if !ctx.NoRewrite {
+		Rewrite(inner)
+	}
+	if ctx.NoVirtualCtors {
+		clearVirtualFlags(inner)
+	}
+	return &Result{Items: []Item{str(ExplainText(inner))}, ctx: ctx}, nil
+}
+
+// execProfile executes the inner statement under a forced trace — stashing
+// any ambient trace so the PROFILE always yields its own complete span tree
+// — and renders the trace as a single string item.
+func execProfile(ctx *ExecCtx, inner *Statement) (*Result, error) {
+	if ctx.tracer == nil {
+		// No database tracer wired (bare contexts in tests/tools): a
+		// private tracer still renders the span tree.
+		ctx.tracer = trace.New(ctx.registry())
+	}
+	prevTrace, prevSpan := ctx.trace, ctx.span
+	ctx.trace, ctx.span = nil, nil
+	tr := ctx.tracer.StartForced(inner.Source)
+	ctx.adoptTrace(tr)
+	res, err := executeStatement(ctx, inner)
+	// Close out the forced trace and restore the ambient one (if any).
+	if ctx.Tx != nil {
+		ctx.Tx.SetTraceSpan(prevSpan)
+		var prevRoot *trace.Span
+		if prevTrace != nil {
+			prevRoot = prevTrace.Root
+		}
+		ctx.tracer.SetActive(ctx.Tx.ID(), prevRoot)
+	}
+	ctx.tracer.Finish(tr)
+	ctx.trace, ctx.span = prevTrace, prevSpan
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	sb.WriteString(tr.Text())
+	if res != nil {
+		fmt.Fprintf(&sb, "  result: %d item(s), %d updated\n", len(res.Items), res.Updated)
+	}
+	return &Result{Items: []Item{str(sb.String())}, ctx: ctx}, nil
 }
 
 // Serialize writes the result sequence to w: nodes as XML, atomic values as

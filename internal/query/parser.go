@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"strings"
 )
 
 // Parser translates a query/statement into the operation tree. One parser
@@ -14,12 +15,54 @@ type parser struct {
 // Parse parses a complete statement.
 func Parse(src string) (*Statement, error) {
 	p := &parser{l: newLexer(src)}
-	st := &Statement{Prolog: &Prolog{Funcs: make(map[string]*FuncDecl)}}
-	if err := p.parseProlog(st.Prolog); err != nil {
+	st, err := p.parseStatement(src, true)
+	if err != nil {
 		return nil, err
 	}
 	t, err := p.l.peek()
 	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokEOF {
+		return nil, p.l.errf(t.pos, "unexpected %q after statement", t.text)
+	}
+	return st, nil
+}
+
+// parseStatement parses one statement body. allowExplain admits the
+// EXPLAIN/PROFILE prefix (once: they cannot nest).
+func (p *parser) parseStatement(src string, allowExplain bool) (*Statement, error) {
+	st := &Statement{
+		Prolog: &Prolog{Funcs: make(map[string]*FuncDecl)},
+		Source: strings.TrimSpace(src),
+	}
+	t, err := p.l.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokName && (t.text == "EXPLAIN" || t.text == "PROFILE") {
+		if !allowExplain {
+			return nil, p.l.errf(t.pos, "%s cannot be nested", t.text)
+		}
+		p.l.next()
+		t2, err := p.l.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t2.kind == tokEOF {
+			return nil, p.l.errf(t2.pos, "%s requires a statement", t.text)
+		}
+		inner, err := p.parseStatement(p.l.src[t2.pos:], false)
+		if err != nil {
+			return nil, err
+		}
+		st.Explain = &ExplainStmt{Stmt: inner, Profile: t.text == "PROFILE"}
+		return st, nil
+	}
+	if err := p.parseProlog(st.Prolog); err != nil {
+		return nil, err
+	}
+	if t, err = p.l.peek(); err != nil {
 		return nil, err
 	}
 	switch {
@@ -41,12 +84,6 @@ func Parse(src string) (*Statement, error) {
 			return nil, err
 		}
 		st.Query = e
-	}
-	if t, err = p.l.peek(); err != nil {
-		return nil, err
-	}
-	if t.kind != tokEOF {
-		return nil, p.l.errf(t.pos, "unexpected %q after statement", t.text)
 	}
 	return st, nil
 }

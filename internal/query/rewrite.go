@@ -16,7 +16,8 @@ package query
 // A fifth pass marks element constructors whose content is only serialized
 // as virtual (§5.2.1).
 
-// Rewrite applies all passes to a statement in place.
+// Rewrite applies all passes to a statement in place and records which
+// rules fired in st.Rewrites (EXPLAIN renders them).
 func Rewrite(st *Statement) {
 	rw := &rewriter{nextCache: 1}
 	exprs := st.exprs()
@@ -38,6 +39,14 @@ func Rewrite(st *Statement) {
 		// copy is unavoidable, so no virtual marking.
 		markVirtual(st.Update.Source, false)
 	}
+	if st.Query != nil {
+		walkExpr(st.Query, func(x Expr) {
+			if c, ok := x.(*ElementCtor); ok && c.Virtual {
+				rw.note("virtual-ctor: <" + c.Name + ">")
+			}
+		})
+	}
+	st.Rewrites = rw.notes
 }
 
 // exprs returns pointers to every top-level expression of the statement.
@@ -64,6 +73,8 @@ func (st *Statement) exprs() []*Expr {
 
 type rewriter struct {
 	nextCache int
+	// notes records fired rules for EXPLAIN.
+	notes []string
 	// iterVars tracks enclosing for-iteration variables for the laziness
 	// pass.
 	iterVars []string
@@ -71,6 +82,8 @@ type rewriter struct {
 	// and quantifier bindings), for the DDO property inference.
 	singleVars map[string]int
 }
+
+func (rw *rewriter) note(s string) { rw.notes = append(rw.notes, s) }
 
 func (rw *rewriter) pushSingle(name string) {
 	if rw.singleVars == nil {
@@ -104,12 +117,15 @@ func (rw *rewriter) rewriteExpr(x Expr) Expr {
 			n.Axis == AxisChild && predsPositionFree(n.Preds) {
 			n.Axis = AxisDescendant
 			n.Input = in.Input
+			rw.note("combine-descendant: descendant-or-self::node()/child::" +
+				n.Test.Text() + " → descendant::" + n.Test.Text())
 		}
 		// Pass 2: DDO elimination.
 		if n.NeedDDO {
 			p := rw.props(n, true)
 			if (p.ordered && p.distinct) || p.single {
 				n.NeedDDO = false
+				rw.note("ddo-removed: " + stepText(n))
 			}
 		}
 		// Pass 4: structural extraction (the last step of a structural
@@ -117,6 +133,7 @@ func (rw *rewriter) rewriteExpr(x Expr) Expr {
 		if doc, _ := structuralChain(n); doc != nil {
 			n.Structural = true
 			n.NeedDDO = false
+			rw.note("structural-path: " + stepText(n) + " over doc(\"" + doc.Name + "\")")
 		}
 		return n
 
@@ -165,6 +182,7 @@ func (rw *rewriter) rewriteExpr(x Expr) Expr {
 				cl.Lazy = true
 				cl.CacheID = rw.nextCache
 				rw.nextCache++
+				rw.note("lazy-for: $" + cl.Var)
 			}
 			if !cl.Let {
 				rw.iterVars = append(rw.iterVars, cl.Var)

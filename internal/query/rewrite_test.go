@@ -229,7 +229,7 @@ func TestRewriteOffSwitch(t *testing.T) {
 	if s != "5" {
 		t.Fatalf("unrewritten query result: %s", s)
 	}
-	if ctx.Stats.DDOOps == 0 {
+	if ctx.Profile.DDOOps == 0 {
 		t.Fatal("unrewritten plan should execute explicit DDO operations")
 	}
 }
@@ -263,9 +263,9 @@ func TestRewrittenAndNaiveAgree(t *testing.T) {
 		if s1 != s2 {
 			t.Errorf("%s:\nrewritten: %s\nnaive:     %s", src, s1, s2)
 		}
-		if !strings.Contains(src, "..") && naive.Stats.DDOOps < opt.Stats.DDOOps {
+		if !strings.Contains(src, "..") && naive.Profile.DDOOps < opt.Profile.DDOOps {
 			t.Errorf("%s: naive executed fewer DDO ops (%d) than optimized (%d)",
-				src, naive.Stats.DDOOps, opt.Stats.DDOOps)
+				src, naive.Profile.DDOOps, opt.Profile.DDOOps)
 		}
 	}
 }

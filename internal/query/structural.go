@@ -107,7 +107,7 @@ func evalStructural(s *Step, e *env, f *focus) ([]Item, error) {
 	if len(targets) == 1 {
 		// Single schema node: its list already is the answer in document
 		// order — no per-node work at all.
-		e.ctx.Stats.SchemaScans++
+		e.ctx.Profile.SchemaScans++
 		var out []Item
 		err := storage.ScanSchema(e.r, targets[0], func(d storage.Desc) (bool, error) {
 			out = append(out, &NodeItem{Doc: doc, D: d})

@@ -48,7 +48,7 @@ func (n *TempNode) expand(env *env) error {
 	}
 	ref := n.Ref
 	n.Ref = nil
-	env.ctx.Stats.DeepCopies++
+	env.ctx.Profile.DeepCopies++
 	copied, err := deepCopyStored(env, ref)
 	if err != nil {
 		return err
@@ -73,7 +73,7 @@ func deepCopyStored(env *env, it *NodeItem) (*TempNode, error) {
 			return nil, err
 		}
 		t.Text = string(b)
-		env.ctx.Stats.BytesCopied += uint64(len(b))
+		env.ctx.Profile.BytesCopied += uint64(len(b))
 		return t, nil
 	}
 	kids, err := storedChildren(env, it)

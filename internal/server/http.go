@@ -1,34 +1,93 @@
 package server
 
 import (
+	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 
 	"sedna/internal/metrics"
+	"sedna/internal/trace"
 )
 
-// MetricsServer serves a registry's text snapshot over plain HTTP, for
+// indexPage lists the observability endpoints; served on "/" and on unknown
+// paths (with a 404 status) so a bare curl against the port is self-describing.
+const indexPage = `sedna observability endpoints:
+  /metrics       metrics snapshot (text/plain)
+  /slowlog       retained slow-query traces as JSON (?n=N limits)
+  /debug/pprof/  Go runtime profiles
+`
+
+// MetricsServer serves the observability endpoints over plain HTTP, for
 // scraping with curl or any monitoring agent. It exposes:
 //
-//	GET /metrics  — the sorted "name value" snapshot (text/plain)
+//	GET /metrics      — the sorted "name value" snapshot (text/plain)
+//	GET /slowlog      — retained slow-query traces, newest first (JSON)
+//	GET /debug/pprof/ — the standard Go runtime profiling handlers
 type MetricsServer struct {
 	ln  net.Listener
 	srv *http.Server
 }
 
-// ListenMetrics starts an HTTP metrics endpoint on addr (e.g.
+// getOnly rejects everything but GET; the endpoints are read-only views.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// ListenMetrics starts an HTTP observability endpoint on addr (e.g.
 // "127.0.0.1:5051"). Pass the same registry the database and governor report
-// into.
-func ListenMetrics(reg *metrics.Registry, addr string) (*MetricsServer, error) {
+// into; tr (may be nil) backs the /slowlog endpoint.
+func ListenMetrics(reg *metrics.Registry, tr *trace.Tracer, addr string) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if r.URL.Path != "/" {
+			w.WriteHeader(http.StatusNotFound)
+		}
+		fmt.Fprint(w, indexPage)
+	}))
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = reg.Snapshot().WriteText(w)
-	})
+	}))
+	mux.HandleFunc("/slowlog", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		traces := []*trace.Trace{}
+		if tr != nil {
+			traces = tr.Slow()
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				http.Error(w, "slowlog: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			if n < len(traces) {
+				traces = traces[:n]
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(traces)
+	}))
+	// The pprof handlers are registered unwrapped: Symbol accepts POST.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}}
 	go ms.srv.Serve(ln)
 	return ms, nil

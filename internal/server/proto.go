@@ -23,6 +23,7 @@ const (
 	MsgRollback = 5
 	MsgQuit     = 6
 	MsgMetrics  = 7
+	MsgSlowLog  = 8
 )
 
 // Message types (server → client).
@@ -44,6 +45,13 @@ var ErrTooLarge = errors.New("server: message exceeds size limit")
 type Request struct {
 	ReadOnly bool   `json:"readonly,omitempty"` // MsgBegin
 	Query    string `json:"query,omitempty"`    // MsgExecute
+
+	// MsgSlowLog: N bounds how many retained slow traces to return (0 =
+	// all); when SetThreshold is set, the server first updates the
+	// slow-query threshold to ThresholdNs (0 disables the slow log).
+	N            int   `json:"n,omitempty"`
+	ThresholdNs  int64 `json:"threshold_ns,omitempty"`
+	SetThreshold bool  `json:"set_threshold,omitempty"`
 }
 
 // Response is a server message payload.

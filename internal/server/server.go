@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -8,10 +9,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sedna/internal/core"
 	"sedna/internal/metrics"
 	"sedna/internal/query"
+	"sedna/internal/trace"
 )
 
 // Governor is the control center of the system (§3): it keeps track of the
@@ -64,6 +67,9 @@ func NewGovernor(db *core.Database) *Governor {
 
 // Metrics returns the registry shared by the governor and its database.
 func (g *Governor) Metrics() *metrics.Registry { return g.db.Metrics() }
+
+// Tracer returns the database's per-query tracer.
+func (g *Governor) Tracer() *trace.Tracer { return g.db.Tracer() }
 
 // DB returns the managed database.
 func (g *Governor) DB() *core.Database { return g.db }
@@ -167,20 +173,28 @@ func (s *Session) Rollback() error {
 // otherwise it runs in auto-commit mode, choosing a read-only snapshot
 // transaction for queries and an update transaction for everything else.
 func (s *Session) Execute(src string) (*Response, error) {
+	parseStart := time.Now()
 	st, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	parseNs := time.Since(parseStart).Nanoseconds()
 	tx := s.tx
 	auto := tx == nil
 	if auto {
-		readonly := st.Query != nil
-		tx, err = s.beginTx(readonly)
+		tx, err = s.beginTx(st.ReadOnly())
 		if err != nil {
 			return nil, err
 		}
 	}
-	res, err := query.ExecuteStatement(query.NewExecCtx(tx), st)
+	// The session owns the statement's trace so an auto-commit (and its WAL
+	// fsync) is captured inside it; FinishTrace is idempotent and runs after
+	// the commit on the happy path.
+	ctx := query.NewExecCtx(tx)
+	ctx.StartTrace(st.Source)
+	ctx.RecordParse(parseNs)
+	defer ctx.FinishTrace()
+	res, err := query.ExecuteStatement(ctx, st)
 	if err != nil {
 		if auto {
 			tx.Rollback()
@@ -200,6 +214,27 @@ func (s *Session) Execute(src string) (*Response, error) {
 		}
 	}
 	return &Response{Data: sb.String(), Updated: res.Updated, Message: res.Message}, nil
+}
+
+// slowLog serves a MsgSlowLog request: optionally retune the slow-query
+// threshold, then return retained slow traces (newest first) as JSON.
+func (g *Governor) slowLog(req *Request) (*Response, error) {
+	tr := g.db.Tracer()
+	if req.SetThreshold {
+		tr.SetSlowThreshold(time.Duration(req.ThresholdNs))
+	}
+	traces := tr.Slow()
+	if req.N > 0 && len(traces) > req.N {
+		traces = traces[:req.N]
+	}
+	b, err := json.Marshal(traces)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Data:    string(b),
+		Message: fmt.Sprintf("threshold=%s entries=%d", time.Duration(tr.SlowThresholdNs()), len(traces)),
+	}, nil
 }
 
 // Server accepts client connections.
@@ -315,6 +350,8 @@ func (s *Server) handle(rawConn net.Conn) {
 			resp = &Response{Message: "rolled back"}
 		case MsgMetrics:
 			resp = &Response{Data: s.gov.Metrics().Text()}
+		case MsgSlowLog:
+			resp, rerr = s.gov.slowLog(&req)
 		case MsgQuit:
 			WriteMsg(conn, MsgOK, &Response{Message: "bye"})
 			return
@@ -329,7 +366,7 @@ func (s *Server) handle(rawConn net.Conn) {
 			continue
 		}
 		out := byte(MsgOK)
-		if typ == MsgExecute || typ == MsgMetrics {
+		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog {
 			out = MsgResult
 		}
 		if err := WriteMsg(conn, out, resp); err != nil {

@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sedna/internal/metrics"
+)
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(time.Second)
+	tr.SetSlowLogPath("x")
+	if tr.Active() || tr.Enabled() {
+		t.Fatal("nil tracer reports active")
+	}
+	if tr.Start("q") != nil || tr.StartForced("q") != nil {
+		t.Fatal("nil tracer started a trace")
+	}
+	tr.Finish(nil)
+	tr.SetActive(1, nil)
+	if tr.ActiveFor(1) != nil {
+		t.Fatal("nil tracer has an active span")
+	}
+	if tr.Recent() != nil || tr.Slow() != nil {
+		t.Fatal("nil tracer has traces")
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var s *Span
+	s.End()
+	s.SetStr("k", "v")
+	s.SetInt("k", 1)
+	s.AddInt("k", 1)
+	if s.Child("c") != nil || s.ChildDone("c", 1) != nil || s.Parent() != nil {
+		t.Fatal("nil span produced a span")
+	}
+}
+
+func TestStartDisabledReturnsNil(t *testing.T) {
+	tr := New(nil)
+	if tr.Active() {
+		t.Fatal("fresh tracer is active")
+	}
+	if got := tr.Start("q"); got != nil {
+		t.Fatalf("Start on disabled tracer = %v, want nil", got)
+	}
+	// A slow threshold alone activates tracing, so slow queries have a
+	// full trace to log.
+	tr.SetSlowThreshold(time.Millisecond)
+	if tr.Start("q") == nil {
+		t.Fatal("Start with slow threshold set returned nil")
+	}
+	tr.SetSlowThreshold(0)
+	tr.SetEnabled(true)
+	if tr.Start("q") == nil {
+		t.Fatal("Start with tracing enabled returned nil")
+	}
+}
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	tr := New(nil)
+	tr.SetEnabled(true)
+	trace := tr.Start("doc(\"x\")//y")
+	root := trace.Root
+	c1 := root.Child("analyze")
+	c1.End()
+	c2 := root.Child("execute")
+	step := c2.Child("step child::y")
+	step.SetInt("nodes", 3)
+	step.AddInt("nodes", 2)
+	step.SetStr("mode", "structural")
+	if step.Parent() != c2 {
+		t.Fatal("parent link broken")
+	}
+	step.End()
+	c2.End()
+	tr.Finish(trace)
+
+	if len(root.Children) != 2 || root.Children[1].Children[0] != step {
+		t.Fatal("span tree shape wrong")
+	}
+	if len(step.Attrs) != 2 {
+		t.Fatalf("attrs = %v", step.Attrs)
+	}
+	if a := step.Attrs[0]; a.Key != "nodes" || !a.IsInt || a.Int != 5 {
+		t.Fatalf("AddInt did not accumulate: %+v", a)
+	}
+	if trace.DurNs <= 0 || root.DurNs != trace.DurNs {
+		t.Fatalf("durations: trace=%d root=%d", trace.DurNs, root.DurNs)
+	}
+	text := trace.Text()
+	for _, want := range []string{"statement", "analyze", "step child::y", "nodes=5", "mode=structural"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Text() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCounterDeltas(t *testing.T) {
+	reg := metrics.OrNew(nil)
+	hits := reg.Counter("buffer.hits")
+	hits.Add(10)
+	tr := New(reg)
+	tr.SetEnabled(true)
+	trace := tr.Start("q")
+	hits.Add(7)
+	tr.Finish(trace)
+	if got := trace.Counters["buffer.hits"]; got != 7 {
+		t.Fatalf("buffer.hits delta = %d, want 7", got)
+	}
+	// Counters that did not move are omitted.
+	if _, ok := trace.Counters["wal.fsyncs"]; ok {
+		t.Fatal("zero-delta counter present")
+	}
+}
+
+func TestRecentRingNewestFirst(t *testing.T) {
+	tr := New(nil)
+	tr.SetEnabled(true)
+	const total = ringSize + 9
+	for i := 0; i < total; i++ {
+		trace := tr.Start(fmt.Sprintf("q%d", i))
+		tr.Finish(trace)
+	}
+	recent := tr.Recent()
+	if len(recent) != ringSize {
+		t.Fatalf("len(recent) = %d, want %d", len(recent), ringSize)
+	}
+	for i, trace := range recent {
+		want := fmt.Sprintf("q%d", total-1-i)
+		if trace.Query != want {
+			t.Fatalf("recent[%d].Query = %q, want %q", i, trace.Query, want)
+		}
+	}
+}
+
+// finishWithDur completes a trace pretending it ran for dur: End is
+// idempotent, so a pre-ended root with a hand-set duration stands.
+func finishWithDur(tr *Tracer, trace *Trace, dur time.Duration) {
+	trace.Root.End()
+	trace.Root.DurNs = dur.Nanoseconds()
+	tr.Finish(trace)
+}
+
+func TestSlowThresholdEdges(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "slowlog.jsonl")
+	tr := New(nil)
+	tr.SetSlowLogPath(logPath)
+	defer tr.Close()
+
+	// threshold = 0: nothing is slow, however long it took.
+	tr.SetEnabled(true)
+	trace := tr.StartForced("q-disabled")
+	finishWithDur(tr, trace, time.Hour)
+	if trace.Slow {
+		t.Fatal("threshold=0 marked a trace slow")
+	}
+
+	tr.SetSlowThreshold(50 * time.Millisecond)
+	// Just below the threshold: fast.
+	trace = tr.StartForced("q-fast")
+	finishWithDur(tr, trace, 50*time.Millisecond-time.Nanosecond)
+	if trace.Slow {
+		t.Fatal("below-threshold trace marked slow")
+	}
+	// Exactly at the threshold: slow (the bound is inclusive).
+	trace = tr.StartForced("q-at")
+	finishWithDur(tr, trace, 50*time.Millisecond)
+	if !trace.Slow {
+		t.Fatal("at-threshold trace not marked slow")
+	}
+	// Above: slow.
+	trace = tr.StartForced("q-above")
+	finishWithDur(tr, trace, time.Second)
+	if !trace.Slow {
+		t.Fatal("above-threshold trace not marked slow")
+	}
+
+	slow := tr.Slow()
+	if len(slow) != 2 || slow[0].Query != "q-above" || slow[1].Query != "q-at" {
+		t.Fatalf("slow ring = %v", queries(slow))
+	}
+
+	// The slow log holds one JSONL line per slow trace, round-trippable.
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("slow log has %d lines, want 2", len(lines))
+	}
+	var logged Trace
+	if err := json.Unmarshal([]byte(lines[0]), &logged); err != nil {
+		t.Fatal(err)
+	}
+	if logged.Query != "q-at" || !logged.Slow || logged.Root == nil {
+		t.Fatalf("logged trace = %+v", logged)
+	}
+}
+
+func queries(traces []*Trace) []string {
+	out := make([]string, len(traces))
+	for i, tr := range traces {
+		out[i] = tr.Query
+	}
+	return out
+}
+
+// TestConcurrentTracing exercises the rings, the active-span map and the
+// configuration knobs from many goroutines; run under -race.
+func TestConcurrentTracing(t *testing.T) {
+	tr := New(nil)
+	tr.SetEnabled(true)
+	tr.SetSlowThreshold(time.Nanosecond) // everything is slow
+	tr.SetSlowLogPath(filepath.Join(t.TempDir(), "slowlog.jsonl"))
+	defer tr.Close()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				trace := tr.Start(fmt.Sprintf("g%d-q%d", g, i))
+				s := trace.Root.Child("work")
+				tr.SetActive(uint64(g), trace.Root)
+				if got := tr.ActiveFor(uint64(g)); got == nil {
+					t.Error("active span lost")
+				}
+				s.End()
+				tr.SetActive(uint64(g), nil)
+				tr.Finish(trace)
+				_ = tr.Recent()
+				_ = tr.Slow()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if len(tr.Recent()) != ringSize || len(tr.Slow()) != ringSize {
+		t.Fatalf("rings not full: recent=%d slow=%d", len(tr.Recent()), len(tr.Slow()))
+	}
+}

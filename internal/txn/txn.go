@@ -24,6 +24,7 @@ import (
 	"sedna/internal/sas"
 	"sedna/internal/schema"
 	"sedna/internal/storage"
+	"sedna/internal/trace"
 	"sedna/internal/wal"
 )
 
@@ -185,7 +186,21 @@ type Tx struct {
 	// page traffic to statements. Atomic so profile readers never race a
 	// transaction running on another goroutine.
 	pagesTouched atomic.Uint64
+
+	// span is the innermost open trace span of the statement currently
+	// executing on this transaction (nil when not tracing). A transaction
+	// runs its statements on one goroutine, so a plain field suffices;
+	// buffer faults and commit-time fsyncs attach to it.
+	span *trace.Span
 }
+
+// SetTraceSpan installs (or, with nil, clears) the trace span storage-layer
+// events of this transaction attach to.
+func (tx *Tx) SetTraceSpan(s *trace.Span) { tx.span = s }
+
+// TraceSpan returns the transaction's current trace span (nil when not
+// tracing).
+func (tx *Tx) TraceSpan() *trace.Span { return tx.span }
 
 // PagesTouched returns the number of page accesses (reads + writes) the
 // transaction has performed.
@@ -278,6 +293,7 @@ func (tx *Tx) ReadPage(p sas.XPtr, fn func(page []byte) error) error {
 		id := sas.PageIDOf(p)
 		page := tx.cache[id]
 		if page == nil {
+			tx.span.AddInt("snapshot_reads", 1)
 			page = make([]byte, sas.PageSize)
 			if err := tx.m.buf.ReadSnapshot(id, tx.snapTS, page); err != nil {
 				return err
@@ -286,7 +302,10 @@ func (tx *Tx) ReadPage(p sas.XPtr, fn func(page []byte) error) error {
 		}
 		return fn(page)
 	}
-	f, err := tx.m.buf.Deref(p)
+	f, faulted, err := tx.m.buf.DerefTrack(p)
+	if faulted {
+		tx.span.AddInt("faults", 1)
+	}
 	if err != nil {
 		return err
 	}
@@ -416,7 +435,9 @@ func (tx *Tx) Commit() error {
 	if _, err := m.log.Append(&wal.Record{Type: wal.RecCommit, Txn: tx.id, CommitTS: cts}); err != nil {
 		return err
 	}
-	if err := m.log.Flush(); err != nil {
+	// The commit-forcing fsync is attributed to the statement's trace when
+	// one is still open (the session finishes its trace after commit).
+	if err := m.log.FlushSpan(tx.span); err != nil {
 		return err
 	}
 	m.buf.CommitTxn(tx.id, cts)

@@ -21,6 +21,7 @@ import (
 
 	"sedna/internal/metrics"
 	"sedna/internal/sas"
+	"sedna/internal/trace"
 )
 
 // RecType enumerates log record types.
@@ -192,7 +193,11 @@ func (l *Log) Append(r *Record) (uint64, error) {
 }
 
 // Flush makes all appended records durable (the WAL rule hook).
-func (l *Log) Flush() error {
+func (l *Log) Flush() error { return l.FlushSpan(nil) }
+
+// FlushSpan is Flush attributing the fsync to a trace span: when sp is
+// non-nil the sync runs inside a "wal.fsync" child span.
+func (l *Log) FlushSpan(sp *trace.Span) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.met.flushes.Inc()
@@ -200,8 +205,11 @@ func (l *Log) Flush() error {
 		return fmt.Errorf("wal: flush: %w", err)
 	}
 	if !l.noSync {
+		fs := sp.Child("wal.fsync")
 		start := time.Now()
-		if err := l.f.Sync(); err != nil {
+		err := l.f.Sync()
+		fs.End()
+		if err != nil {
 			return fmt.Errorf("wal: sync: %w", err)
 		}
 		l.met.fsyncs.Inc()

@@ -24,6 +24,6 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency-sensitive packages) =="
-go test -race ./internal/metrics ./internal/buffer ./internal/lock ./internal/server
+go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/lock ./internal/server
 
 echo "check.sh: all green"

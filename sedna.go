@@ -49,6 +49,15 @@ type Options struct {
 	LockTimeout time.Duration
 	// KeepWhitespace retains whitespace-only text nodes when loading XML.
 	KeepWhitespace bool
+	// TraceEnabled records a span tree for every executed statement into the
+	// tracer's in-memory ring.
+	TraceEnabled bool
+	// SlowQueryThreshold marks statements at or above this duration as slow
+	// and appends their trace to the slow-query log (0 = disabled).
+	SlowQueryThreshold time.Duration
+	// SlowLogPath overrides the slow-query log location
+	// (default <dir>/slowlog.jsonl).
+	SlowLogPath string
 	// Metrics is the observability registry every layer reports into; nil
 	// gives the database a fresh private registry. Pass a shared registry to
 	// accumulate counters across databases (as sedna-bench does).
@@ -68,11 +77,14 @@ func Open(dir string, opts *Options) (*DB, error) {
 		o = *opts
 	}
 	db, err := core.Open(dir, core.Options{
-		BufferPages:    o.BufferPages,
-		NoSync:         o.NoSync,
-		LockTimeout:    o.LockTimeout,
-		KeepWhitespace: o.KeepWhitespace,
-		Metrics:        o.Metrics,
+		BufferPages:        o.BufferPages,
+		NoSync:             o.NoSync,
+		LockTimeout:        o.LockTimeout,
+		KeepWhitespace:     o.KeepWhitespace,
+		TraceEnabled:       o.TraceEnabled,
+		SlowQueryThreshold: o.SlowQueryThreshold,
+		SlowLogPath:        o.SlowLogPath,
+		Metrics:            o.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -189,7 +201,7 @@ func (tx *Tx) Execute(src string) (*Result, error) {
 		Count:   len(res.Items),
 		Updated: res.Updated,
 		Message: res.Message,
-		Stats:   ctx.Stats,
+		Stats:   ctx.Profile.ExecStats,
 	}, nil
 }
 
@@ -217,7 +229,7 @@ func (db *DB) Execute(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	readonly := st.Query != nil
+	readonly := st.ReadOnly()
 	var tx *Tx
 	if readonly {
 		tx, err = db.BeginReadOnly()
@@ -244,8 +256,8 @@ func (db *DB) Query(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if st.Query == nil {
-		return nil, fmt.Errorf("sedna: Query requires a query statement; use Execute")
+	if !st.ReadOnly() {
+		return nil, fmt.Errorf("sedna: Query requires a read-only statement; use Execute")
 	}
 	tx, err := db.BeginReadOnly()
 	if err != nil {
