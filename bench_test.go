@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"sedna"
@@ -669,3 +670,110 @@ func benchmarkE16(b *testing.B, population int) {
 
 func BenchmarkE16Widen1kNodes(b *testing.B)  { benchmarkE16(b, 1000) }
 func BenchmarkE16Widen10kNodes(b *testing.B) { benchmarkE16(b, 10000) }
+
+// --------------------------------------------------------------- E17 ----
+// Concurrent-read scalability (§4.2 + §6.3): N goroutines run the same
+// snapshot query over a warmed pool. A hot dereference in the sharded
+// buffer manager is a stripe read-lock plus two atomics, so aggregate
+// reader throughput scales with cores; with a single pool mutex (the seed
+// build) every Deref serializes and added readers add nothing. The mixed
+// variant measures durable commit throughput while writers share batched
+// group-commit fsyncs.
+
+func benchmarkE17Readers(b *testing.B, goroutines int) {
+	db := openLoaded(b, 400)
+	q := `count(doc("lib")/library/book)`
+	if _, err := db.Query(q); err != nil { // warm the pool and the mapping
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := b.N / goroutines
+			if g < b.N%goroutines {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkE17ConcurrentReaders1(b *testing.B) { benchmarkE17Readers(b, 1) }
+func BenchmarkE17ConcurrentReaders2(b *testing.B) { benchmarkE17Readers(b, 2) }
+func BenchmarkE17ConcurrentReaders4(b *testing.B) { benchmarkE17Readers(b, 4) }
+func BenchmarkE17ConcurrentReaders8(b *testing.B) { benchmarkE17Readers(b, 8) }
+
+// BenchmarkE17MixedWriters commits b.N small updates from 4 writer
+// goroutines against a durable (fsyncing) WAL, with snapshot readers
+// running in the background. Group commit lets concurrent committers share
+// one fsync; the reported fsyncs/commit ratio drops below 1 exactly when
+// batching happens.
+func BenchmarkE17MixedWriters(b *testing.B) {
+	db, err := sedna.Open(b.TempDir(), &sedna.Options{BufferPages: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const writers = 4
+	for w := 0; w < writers; w++ {
+		doc := fmt.Sprintf("w%d", w)
+		if err := db.LoadXMLString(doc, "<library><book><title>seed</title></book></library>"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			q := fmt.Sprintf(`count(doc("w%d")/library/book)`, r)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := db.Query(q); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(r)
+	}
+	fsyncs0 := db.Metrics().Snapshot().Counters["wal.fsyncs"]
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := b.N / writers
+			if w < b.N%writers {
+				n++
+			}
+			stmt := fmt.Sprintf(`UPDATE insert <book><title>x</title></book> into doc("w%d")/library`, w)
+			for i := 0; i < n; i++ {
+				if _, err := db.Execute(stmt); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	close(stop)
+	readers.Wait()
+	fsyncs := db.Metrics().Snapshot().Counters["wal.fsyncs"] - fsyncs0
+	b.ReportMetric(float64(fsyncs)/float64(b.N), "fsyncs/commit")
+}

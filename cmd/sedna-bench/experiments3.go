@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sedna"
+	"sedna/internal/bench"
+)
+
+func init() {
+	experiments = append(experiments,
+		experiment{"E17", "concurrent-read scaling + group commit (§4.2, §6.3, §6.4)", runE17},
+	)
+}
+
+// runE17 measures the two serialization points this PR shards: reader
+// goroutines running the same snapshot query (stripe read-locks in the
+// buffer manager) and writer goroutines committing through the durable WAL
+// (group commit). Reader fan-out levels run at 1, 2, 4, ... up to
+// -parallel; speedup is relative to the single-reader level. On a
+// single-core host the table is expected to be flat — the claim is
+// absence of lock serialization, which shows as scaling once cores exist.
+func runE17(s *session) error {
+	dir, cleanup, err := bench.TempDir("sedna-e17-*")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	db, err := bench.OpenDBMetrics(dir, s.reg)
+	if err != nil {
+		return err
+	}
+	if err := bench.LoadLibrary(db, 400*s.scale); err != nil {
+		db.Close()
+		return err
+	}
+	q := `count(doc("lib")/library/book)`
+	if _, err := db.Query(q); err != nil { // warm the pool and the mapping
+		db.Close()
+		return err
+	}
+
+	total := 400 * s.scale // queries per fan-out level
+	var rows [][]string
+	var base time.Duration
+	for g := 1; g <= s.parallel; g *= 2 {
+		elapsed, err := parallelQueries(db, q, g, total)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		if g == 1 {
+			base = elapsed
+		}
+		qps := float64(total) / elapsed.Seconds()
+		rows = append(rows, []string{
+			fmt.Sprint(g), dur(elapsed), fmt.Sprintf("%.0f", qps), ratio(base, elapsed),
+		})
+	}
+	db.Close()
+	s.out.table([]string{"readers", "wall time", "queries/s", "speedup vs 1"}, rows)
+
+	if err := runE17Writers(s); err != nil {
+		return err
+	}
+	fmt.Println("expected shape: reader throughput scales with cores (flat on one core); grouped commits need at most one fsync each")
+	return nil
+}
+
+// parallelQueries runs total queries split across g goroutines and returns
+// the wall time.
+func parallelQueries(db *sedna.DB, q string, g, total int) (time.Duration, error) {
+	var wg sync.WaitGroup
+	errc := make(chan error, g)
+	start := time.Now()
+	for i := 0; i < g; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			n := total / g
+			if i < total%g {
+				n++
+			}
+			for j := 0; j < n; j++ {
+				if _, _, err := bench.Query(db, q, true); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		return 0, err
+	default:
+	}
+	return time.Since(start), nil
+}
+
+// runE17Writers commits small updates from concurrent writers against a
+// durable WAL and reports how many fsyncs the commits cost — group commit
+// batches concurrent committers into shared rounds.
+func runE17Writers(s *session) error {
+	dir, cleanup, err := bench.TempDir("sedna-e17w-*")
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	db, err := sedna.Open(dir, &sedna.Options{BufferPages: 8192, Metrics: s.reg})
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	const writers = 4
+	commits := 25 * s.scale // per writer
+	for w := 0; w < writers; w++ {
+		if err := db.LoadXMLString(fmt.Sprintf("w%d", w),
+			"<library><book><title>seed</title></book></library>"); err != nil {
+			return err
+		}
+	}
+	snap0 := db.Metrics().Snapshot().Counters
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stmt := fmt.Sprintf(`UPDATE insert <book><title>x</title></book> into doc("w%d")/library`, w)
+			for i := 0; i < commits; i++ {
+				if _, err := db.Execute(stmt); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return err
+	default:
+	}
+	snap1 := db.Metrics().Snapshot().Counters
+	totalCommits := writers * commits
+	fsyncs := snap1["wal.fsyncs"] - snap0["wal.fsyncs"]
+	rounds := snap1["wal.group_commits"] - snap0["wal.group_commits"]
+	s.out.table(
+		[]string{"writers", "commits", "wall time", "commits/s", "fsyncs", "fsyncs/commit", "commit rounds"},
+		[][]string{{
+			fmt.Sprint(writers), fmt.Sprint(totalCommits), dur(elapsed),
+			fmt.Sprintf("%.0f", float64(totalCommits)/elapsed.Seconds()),
+			fmt.Sprint(fsyncs),
+			fmt.Sprintf("%.2f", float64(fsyncs)/float64(totalCommits)),
+			fmt.Sprint(rounds),
+		}},
+	)
+	return nil
+}

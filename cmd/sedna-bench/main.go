@@ -34,7 +34,10 @@ type experiment struct {
 
 type session struct {
 	scale int
-	out   *tableWriter
+	// parallel is the maximum reader fan-out used by the concurrency
+	// experiment (E17); levels run at 1, 2, 4, ... up to this value.
+	parallel int
+	out      *tableWriter
 	// reg accumulates internals metrics across every database the
 	// experiments open; it is embedded in the -json result.
 	reg *metrics.Registry
@@ -61,10 +64,14 @@ var experiments []experiment
 func main() {
 	runFilter := flag.String("run", "", "run only experiments whose id contains this string")
 	scale := flag.Int("scale", 1, "corpus scale factor")
+	parallel := flag.Int("parallel", 8, "maximum reader fan-out for the concurrency experiment (E17)")
 	jsonOut := flag.String("json", "", "write machine-readable results (experiments + metrics snapshot) to this file")
 	flag.Parse()
+	if *parallel < 1 {
+		*parallel = 1
+	}
 
-	s := &session{scale: *scale, out: &tableWriter{}, reg: metrics.NewRegistry()}
+	s := &session{scale: *scale, parallel: *parallel, out: &tableWriter{}, reg: metrics.NewRegistry()}
 	var results []expResult
 	failed := 0
 	for _, e := range experiments {

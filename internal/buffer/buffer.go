@@ -16,20 +16,44 @@
 // The buffer manager also enforces the interaction with recovery: before a
 // page that existed in the persistent snapshot is overwritten in the data
 // file, its checkpoint-time content is saved to the snapshot area (§6.4).
+//
+// # Concurrency
+//
+// The pool is sharded into power-of-two lock stripes selected by the page
+// index (id.Page & mask), so pages sharing a virtual-address slot — same
+// page index, any layer — always live in the same stripe and every slot is
+// owned by exactly one stripe. Each stripe holds its own frame map, a
+// clock-sweep (second-chance) replacement ring, its share of the slot table
+// and the versioning maps for its pages. A hot Deref is a stripe read-lock,
+// one slot comparison and two atomics (ref bit + pin count); snapshot reads
+// also run entirely under the stripe read-lock, so readers on distinct
+// stripes never serialize and readers on the same stripe share it.
+//
+// Lock order: at most one stripe mutex is held at a time. While holding a
+// stripe mutex the manager may acquire, in this order only: the WAL mutex
+// (walFlush during eviction), the transaction-manager mutex (activeSnaps
+// during purge), and the pagefile/snap-area mutexes. The txn-pages mutex
+// (txnMu) is never held together with a stripe mutex. Per-frame pin counts
+// and ref bits are atomics; pins are only *taken* while holding the owning
+// stripe's mutex (read or write), and eviction inspects them under the
+// write lock, so a pinned frame can never be chosen as a victim. Unpin is
+// lock-free.
 package buffer
 
 import (
-	"container/list"
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"sedna/internal/metrics"
 	"sedna/internal/pagefile"
 	"sedna/internal/sas"
 )
 
-// ErrBusy reports that every frame is pinned and none can be evicted.
+// ErrBusy reports that every frame is pinned and none can be evicted, even
+// after the bounded pin wait.
 var ErrBusy = errors.New("buffer: all frames pinned")
 
 // ErrWriteConflict reports that a transaction tried to update a page that
@@ -38,12 +62,43 @@ var ErrBusy = errors.New("buffer: all frames pinned")
 // invariant.
 var ErrWriteConflict = errors.New("buffer: page has uncommitted changes of another transaction")
 
+// maxStripes bounds the stripe fan-out. The count is halved until every
+// stripe owns at least minStripeFrames frames: striping partitions the
+// pool, so a stripe must stay large enough that one statement's transient
+// pins can never exhaust it. Tiny test pools (capacity 2–127) collapse to a
+// single stripe and keep exact whole-pool eviction semantics.
+const (
+	maxStripes      = 16
+	minStripeFrames = 64
+)
+
+// Bounded wait-and-retry for pin pressure: a load that finds every frame in
+// the stripe pinned backs off and retries instead of failing the statement,
+// up to pinWaitBudget in total.
+const (
+	pinWaitBudget  = 50 * time.Millisecond
+	pinWaitInitial = 200 * time.Microsecond
+	pinWaitMax     = 5 * time.Millisecond
+)
+
 // Frame is a main-memory copy of one page.
 type Frame struct {
 	id   sas.PageID
 	data []byte
-	pin  int
-	lru  *list.Element
+
+	// pin is the pin count. It is incremented only while holding the owning
+	// stripe's mutex (read or write); eviction reads it under the write
+	// lock, which excludes pinning, so pin==0 under the write lock means the
+	// frame is evictable. Unpin decrements without any lock.
+	pin atomic.Int32
+
+	// ref is the clock-sweep reference bit, set on every touch and cleared
+	// by the sweeping hand (second chance).
+	ref atomic.Bool
+
+	// clockIdx is the frame's position in its stripe's clock ring,
+	// maintained under the stripe mutex for O(1) removal.
+	clockIdx int
 }
 
 // ID returns the identity of the page held by the frame.
@@ -82,57 +137,78 @@ type Stats struct {
 
 // bufMetrics binds the buffer-manager counters in a metrics registry.
 type bufMetrics struct {
-	hits          *metrics.Counter
-	faults        *metrics.Counter
-	diskReads     *metrics.Counter
-	diskWrites    *metrics.Counter
-	evictions     *metrics.Counter
-	snapSaves     *metrics.Counter
-	versionsMade  *metrics.Counter
-	versionsFreed *metrics.Counter
-	snapshotReads *metrics.Counter
-	versionsLive  *metrics.Gauge
+	hits           *metrics.Counter
+	faults         *metrics.Counter
+	diskReads      *metrics.Counter
+	diskWrites     *metrics.Counter
+	evictions      *metrics.Counter
+	snapSaves      *metrics.Counter
+	versionsMade   *metrics.Counter
+	versionsFreed  *metrics.Counter
+	snapshotReads  *metrics.Counter
+	versionsLive   *metrics.Gauge
+	stripeLockWait *metrics.Counter // ns spent blocked on contended stripe mutexes
+	clockSweeps    *metrics.Counter // clock-hand advances during eviction scans
+	pinWaits       *metrics.Counter // bounded waits entered because all frames were pinned
 }
 
 func bindBufMetrics(reg *metrics.Registry) bufMetrics {
 	return bufMetrics{
-		hits:          reg.Counter("buffer.hits"),
-		faults:        reg.Counter("buffer.faults"),
-		diskReads:     reg.Counter("buffer.disk_reads"),
-		diskWrites:    reg.Counter("buffer.disk_writes"),
-		evictions:     reg.Counter("buffer.evictions"),
-		snapSaves:     reg.Counter("buffer.snap_saves"),
-		versionsMade:  reg.Counter("buffer.versions_made"),
-		versionsFreed: reg.Counter("buffer.versions_freed"),
-		snapshotReads: reg.Counter("buffer.snapshot_reads"),
-		versionsLive:  reg.Gauge("buffer.versions_live"),
+		hits:           reg.Counter("buffer.hits"),
+		faults:         reg.Counter("buffer.faults"),
+		diskReads:      reg.Counter("buffer.disk_reads"),
+		diskWrites:     reg.Counter("buffer.disk_writes"),
+		evictions:      reg.Counter("buffer.evictions"),
+		snapSaves:      reg.Counter("buffer.snap_saves"),
+		versionsMade:   reg.Counter("buffer.versions_made"),
+		versionsFreed:  reg.Counter("buffer.versions_freed"),
+		snapshotReads:  reg.Counter("buffer.snapshot_reads"),
+		versionsLive:   reg.Gauge("buffer.versions_live"),
+		stripeLockWait: reg.Counter("buffer.stripe_lock_wait_ns"),
+		clockSweeps:    reg.Counter("buffer.clock_sweeps"),
+		pinWaits:       reg.Counter("buffer.pin_waits"),
 	}
 }
 
-// Manager is the buffer manager.
-type Manager struct {
-	mu sync.Mutex
-
-	pf   *pagefile.File
-	snap *pagefile.SnapArea
+// stripe is one lock shard of the pool: the frames, clock ring, slot-table
+// share and versioning state for every page whose index hashes here.
+type stripe struct {
+	mu sync.RWMutex
 
 	capacity int
 	frames   map[sas.PageID]*Frame
-	lru      *list.List // front = most recently used
+	clock    []*Frame // clock-sweep ring; positions tracked in Frame.clockIdx
+	hand     int
 
-	// slots emulates the process virtual address range one layer maps to:
-	// slots[pageIndex] records which layer's page is currently mapped at
-	// that address. Equality-basis mapping means a pointer's page index IS
-	// its slot index.
+	// slots is this stripe's share of the emulated process virtual address
+	// range: slots[pageIndex>>stripeShift] records which layer's page is
+	// currently mapped at that address. Equality-basis mapping means a
+	// pointer's page index IS its slot index.
 	slots []slotEntry
 
 	// Versioning state. It is keyed by page identity, not by frame, so it
 	// survives eviction.
-	pageTS   map[sas.PageID]uint64              // commit TS of the live content
-	dirtyBy  map[sas.PageID]uint64              // txn holding uncommitted changes
-	dirty    map[sas.PageID]bool                // live content differs from disk
-	chains   map[sas.PageID][]pageVersion       // newest first
-	txnPages map[uint64]map[sas.PageID]struct{} // pages dirtied per txn
+	pageTS  map[sas.PageID]uint64        // commit TS of the live content
+	dirtyBy map[sas.PageID]uint64        // txn holding uncommitted changes
+	dirty   map[sas.PageID]bool          // live content differs from disk
+	chains  map[sas.PageID][]pageVersion // newest first
+}
+
+// Manager is the buffer manager.
+type Manager struct {
+	pf   *pagefile.File
+	snap *pagefile.SnapArea
+
+	capacity    int
+	stripes     []*stripe
+	stripeMask  uint32
+	stripeShift uint
+
+	// txnPages maps a transaction to the set of pages it dirtied, across all
+	// stripes. Guarded by txnMu, which is never held together with a stripe
+	// mutex.
+	txnMu    sync.Mutex
+	txnPages map[uint64]map[sas.PageID]struct{}
 
 	walFlush    func() error    // flush the WAL; called before any page write (WAL rule)
 	activeSnaps func() []uint64 // timestamps of active snapshots, for purge
@@ -154,21 +230,69 @@ func NewWithMetrics(pf *pagefile.File, snap *pagefile.SnapArea, capacity int, re
 		capacity = 2
 	}
 	reg = metrics.OrNew(reg)
-	return &Manager{
-		reg:      reg,
-		met:      bindBufMetrics(reg),
-		pf:       pf,
-		snap:     snap,
-		capacity: capacity,
-		frames:   make(map[sas.PageID]*Frame),
-		lru:      list.New(),
-		slots:    make([]slotEntry, sas.PagesPerLayer),
-		pageTS:   make(map[sas.PageID]uint64),
-		dirtyBy:  make(map[sas.PageID]uint64),
-		dirty:    make(map[sas.PageID]bool),
-		chains:   make(map[sas.PageID][]pageVersion),
-		txnPages: make(map[uint64]map[sas.PageID]struct{}),
+	n := maxStripes
+	for n > 1 && capacity/n < minStripeFrames {
+		n /= 2
 	}
+	shift := uint(0)
+	for 1<<shift < n {
+		shift++
+	}
+	m := &Manager{
+		reg:         reg,
+		met:         bindBufMetrics(reg),
+		pf:          pf,
+		snap:        snap,
+		capacity:    capacity,
+		stripes:     make([]*stripe, n),
+		stripeMask:  uint32(n - 1),
+		stripeShift: shift,
+		txnPages:    make(map[uint64]map[sas.PageID]struct{}),
+	}
+	slotsPer := (sas.PagesPerLayer + n - 1) / n
+	base, extra := capacity/n, capacity%n
+	for i := range m.stripes {
+		cap := base
+		if i < extra {
+			cap++
+		}
+		m.stripes[i] = &stripe{
+			capacity: cap,
+			frames:   make(map[sas.PageID]*Frame),
+			slots:    make([]slotEntry, slotsPer),
+			pageTS:   make(map[sas.PageID]uint64),
+			dirtyBy:  make(map[sas.PageID]uint64),
+			dirty:    make(map[sas.PageID]bool),
+			chains:   make(map[sas.PageID][]pageVersion),
+		}
+	}
+	return m
+}
+
+func (m *Manager) stripeFor(page uint32) *stripe {
+	return m.stripes[page&m.stripeMask]
+}
+
+// lock acquires the stripe write lock, accounting contention into
+// buffer.stripe_lock_wait_ns. The TryLock fast path keeps the uncontended
+// case free of clock reads.
+func (s *stripe) lock(m *Manager) {
+	if s.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	s.mu.Lock()
+	m.met.stripeLockWait.Add(uint64(time.Since(start)))
+}
+
+// rlock acquires the stripe read lock, accounting contention like lock.
+func (s *stripe) rlock(m *Manager) {
+	if s.mu.TryRLock() {
+		return
+	}
+	start := time.Now()
+	s.mu.RLock()
+	m.met.stripeLockWait.Add(uint64(time.Since(start)))
 }
 
 // SetWALFlush installs the hook that flushes the write-ahead log; it is
@@ -201,6 +325,32 @@ func (m *Manager) Metrics() *metrics.Registry { return m.reg }
 // Capacity returns the frame-pool capacity.
 func (m *Manager) Capacity() int { return m.capacity }
 
+// Stripes returns the lock-stripe count (for tests and experiments).
+func (m *Manager) Stripes() int { return len(m.stripes) }
+
+// withPinRetry runs attempt, and on ErrBusy backs off and retries within
+// pinWaitBudget so transient pin pressure does not fail statements. attempt
+// must not hold any lock when it returns.
+func (m *Manager) withPinRetry(attempt func() (*Frame, error)) (*Frame, error) {
+	f, err := attempt()
+	if !errors.Is(err, ErrBusy) {
+		return f, err
+	}
+	m.met.pinWaits.Inc()
+	deadline := time.Now().Add(pinWaitBudget)
+	backoff := pinWaitInitial
+	for {
+		time.Sleep(backoff)
+		f, err = attempt()
+		if !errors.Is(err, ErrBusy) || time.Now().After(deadline) {
+			return f, err
+		}
+		if backoff < pinWaitMax {
+			backoff *= 2
+		}
+	}
+}
+
 // Deref resolves a SAS pointer to its page frame through the layer-mapping
 // fast path: the pointer's page index selects the slot; if the resident
 // layer matches the pointer's layer the dereference costs one comparison
@@ -219,46 +369,80 @@ func (m *Manager) DerefTrack(p sas.XPtr) (*Frame, bool, error) {
 	if p.IsNil() {
 		return nil, false, errors.New("buffer: dereference of nil XPtr")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	slot := p.PageIndex()
-	if e := &m.slots[slot]; e.frame != nil && e.layer == p.Layer() {
+	page := p.PageIndex()
+	s := m.stripeFor(page)
+	slot := int(page >> m.stripeShift)
+	layer := p.Layer()
+
+	// Fast path: the slot maps this layer. A read lock suffices — pinning
+	// is an atomic increment and eviction needs the write lock.
+	s.rlock(m)
+	if e := &s.slots[slot]; e.frame != nil && e.layer == layer {
+		f := e.frame
+		f.ref.Store(true)
+		f.pin.Add(1)
+		s.mu.RUnlock()
 		m.met.hits.Inc()
-		m.touch(e.frame)
-		e.frame.pin++
-		return e.frame, false, nil
+		return f, false, nil
 	}
+	s.mu.RUnlock()
+
+	// Memory fault: load the page and remap the slot.
 	m.met.faults.Inc()
-	f, err := m.loadLocked(sas.PageIDOf(p))
+	f, err := m.withPinRetry(func() (*Frame, error) {
+		s.lock(m)
+		defer s.mu.Unlock()
+		if e := &s.slots[slot]; e.frame != nil && e.layer == layer {
+			// Another goroutine mapped it between our locks.
+			f := e.frame
+			f.ref.Store(true)
+			f.pin.Add(1)
+			return f, nil
+		}
+		f, err := s.load(m, sas.PageIDOf(p))
+		if err != nil {
+			return nil, err
+		}
+		s.slots[slot] = slotEntry{layer: layer, frame: f}
+		f.pin.Add(1)
+		return f, nil
+	})
 	if err != nil {
 		return nil, true, err
 	}
-	m.slots[slot] = slotEntry{layer: p.Layer(), frame: f}
-	f.pin++
 	return f, true, nil
 }
 
 // Pin loads (if necessary) and pins the page. Unlike Deref it does not go
 // through or update the layer mapping.
 func (m *Manager) Pin(id sas.PageID) (*Frame, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	f, err := m.loadLocked(id)
-	if err != nil {
-		return nil, err
+	s := m.stripeFor(id.Page)
+	s.rlock(m)
+	if f := s.frames[id]; f != nil {
+		f.ref.Store(true)
+		f.pin.Add(1)
+		s.mu.RUnlock()
+		return f, nil
 	}
-	f.pin++
-	return f, nil
+	s.mu.RUnlock()
+	return m.withPinRetry(func() (*Frame, error) {
+		s.lock(m)
+		defer s.mu.Unlock()
+		f, err := s.load(m, id)
+		if err != nil {
+			return nil, err
+		}
+		f.pin.Add(1)
+		return f, nil
+	})
 }
 
-// Unpin releases a pin taken by Pin, Deref, PinWrite or PinNew.
+// Unpin releases a pin taken by Pin, Deref, PinWrite or PinNew. It is
+// lock-free.
 func (m *Manager) Unpin(f *Frame) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if f.pin <= 0 {
+	if f.pin.Add(-1) < 0 {
 		panic("buffer: Unpin of unpinned frame")
 	}
-	f.pin--
 }
 
 // PinWrite prepares the page for modification by txn: on the first touch it
@@ -268,32 +452,41 @@ func (m *Manager) PinWrite(id sas.PageID, txn uint64) (*Frame, error) {
 	if txn == 0 {
 		panic("buffer: PinWrite with zero txn id")
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if owner := m.dirtyBy[id]; owner != 0 && owner != txn {
-		return nil, fmt.Errorf("%w: page %v owned by txn %d", ErrWriteConflict, id, owner)
-	}
-	f, err := m.loadLocked(id)
+	s := m.stripeFor(id.Page)
+	f, err := m.withPinRetry(func() (*Frame, error) {
+		s.lock(m)
+		defer s.mu.Unlock()
+		if owner := s.dirtyBy[id]; owner != 0 && owner != txn {
+			return nil, fmt.Errorf("%w: page %v owned by txn %d", ErrWriteConflict, id, owner)
+		}
+		f, err := s.load(m, id)
+		if err != nil {
+			return nil, err
+		}
+		if s.dirtyBy[id] != txn {
+			pre := make([]byte, sas.PageSize)
+			copy(pre, f.data)
+			s.chains[id] = append([]pageVersion{{ts: s.pageTS[id], data: pre}}, s.chains[id]...)
+			m.met.versionsMade.Inc()
+			m.met.versionsLive.Inc()
+			s.dirtyBy[id] = txn
+			s.purgeChain(m, id)
+		}
+		s.dirty[id] = true
+		f.pin.Add(1)
+		return f, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	if m.dirtyBy[id] != txn {
-		pre := make([]byte, sas.PageSize)
-		copy(pre, f.data)
-		m.chains[id] = append([]pageVersion{{ts: m.pageTS[id], data: pre}}, m.chains[id]...)
-		m.met.versionsMade.Inc()
-		m.met.versionsLive.Inc()
-		m.dirtyBy[id] = txn
-		m.purgeChainLocked(id)
-		tp := m.txnPages[txn]
-		if tp == nil {
-			tp = make(map[sas.PageID]struct{})
-			m.txnPages[txn] = tp
-		}
-		tp[id] = struct{}{}
+	m.txnMu.Lock()
+	tp := m.txnPages[txn]
+	if tp == nil {
+		tp = make(map[sas.PageID]struct{})
+		m.txnPages[txn] = tp
 	}
-	m.dirty[id] = true
-	f.pin++
+	tp[id] = struct{}{}
+	m.txnMu.Unlock()
 	return f, nil
 }
 
@@ -312,73 +505,83 @@ func (m *Manager) PinNew(id sas.PageID, txn uint64) (*Frame, error) {
 	return f, nil
 }
 
-// loadLocked returns the frame for id, reading it from disk if absent.
-func (m *Manager) loadLocked(id sas.PageID) (*Frame, error) {
-	if f := m.frames[id]; f != nil {
-		m.touch(f)
+// load returns the frame for id, reading it from disk if absent. The caller
+// holds the stripe write lock.
+func (s *stripe) load(m *Manager, id sas.PageID) (*Frame, error) {
+	if f := s.frames[id]; f != nil {
+		f.ref.Store(true)
 		return f, nil
 	}
-	f, err := m.newFrameLocked(id)
-	if err != nil {
-		return nil, err
-	}
-	if err := m.pf.ReadPage(id, f.data); err != nil {
-		m.dropFrameLocked(f)
-		return nil, err
-	}
-	m.met.diskReads.Inc()
-	return f, nil
-}
-
-// newFrameLocked allocates a frame for id, evicting if the pool is full.
-func (m *Manager) newFrameLocked(id sas.PageID) (*Frame, error) {
-	for len(m.frames) >= m.capacity {
-		if err := m.evictOneLocked(); err != nil {
+	for len(s.frames) >= s.capacity {
+		if err := s.evictOne(m); err != nil {
 			return nil, err
 		}
 	}
 	f := &Frame{id: id, data: make([]byte, sas.PageSize)}
-	f.lru = m.lru.PushFront(f)
-	m.frames[id] = f
+	f.clockIdx = len(s.clock)
+	s.clock = append(s.clock, f)
+	s.frames[id] = f
+	if err := m.pf.ReadPage(id, f.data); err != nil {
+		s.drop(m, f)
+		return nil, err
+	}
+	m.met.diskReads.Inc()
+	f.ref.Store(true)
 	return f, nil
 }
 
-func (m *Manager) touch(f *Frame) {
-	m.lru.MoveToFront(f.lru)
-}
-
-func (m *Manager) dropFrameLocked(f *Frame) {
-	m.lru.Remove(f.lru)
-	delete(m.frames, f.id)
-	slot := f.id.Page
-	if e := &m.slots[slot]; e.frame == f {
+// drop removes the frame from the stripe's clock ring, frame map and slot
+// share. The caller holds the stripe write lock.
+func (s *stripe) drop(m *Manager, f *Frame) {
+	last := len(s.clock) - 1
+	i := f.clockIdx
+	s.clock[i] = s.clock[last]
+	s.clock[i].clockIdx = i
+	s.clock = s.clock[:last]
+	if s.hand > last {
+		s.hand = 0
+	}
+	delete(s.frames, f.id)
+	if e := &s.slots[int(f.id.Page)>>m.stripeShift]; e.frame == f {
 		*e = slotEntry{}
 	}
 }
 
-// evictOneLocked writes back and drops the least recently used unpinned
-// frame.
-func (m *Manager) evictOneLocked() error {
-	for el := m.lru.Back(); el != nil; el = el.Prev() {
-		f := el.Value.(*Frame)
-		if f.pin > 0 {
+// evictOne runs the clock hand until a victim with a clear reference bit
+// and no pins is found, writes it back if dirty, and drops it. Two full
+// sweeps (clear refs, then reap) suffice; if they do not, every frame is
+// pinned. The caller holds the stripe write lock.
+func (s *stripe) evictOne(m *Manager) error {
+	for i := 0; i < 2*len(s.clock)+1; i++ {
+		if s.hand >= len(s.clock) {
+			s.hand = 0
+		}
+		f := s.clock[s.hand]
+		s.hand++
+		m.met.clockSweeps.Inc()
+		if f.pin.Load() > 0 {
 			continue
 		}
-		if m.dirty[f.id] {
-			if err := m.flushFrameLocked(f); err != nil {
+		if f.ref.Swap(false) {
+			continue // second chance
+		}
+		if s.dirty[f.id] {
+			if err := s.flushFrame(m, f); err != nil {
 				return err
 			}
 		}
-		m.dropFrameLocked(f)
+		s.drop(m, f)
 		m.met.evictions.Inc()
 		return nil
 	}
 	return ErrBusy
 }
 
-// flushFrameLocked writes the frame to the data file, observing the WAL rule
-// and the persistent-snapshot save-before-overwrite rule.
-func (m *Manager) flushFrameLocked(f *Frame) error {
+// flushFrame writes the frame to the data file, observing the WAL rule and
+// the persistent-snapshot save-before-overwrite rule. The caller holds the
+// stripe write lock; the WAL, snap-area and pagefile guard themselves, so
+// flushes from different stripes proceed concurrently.
+func (s *stripe) flushFrame(m *Manager, f *Frame) error {
 	if m.walFlush != nil {
 		if err := m.walFlush(); err != nil {
 			return err
@@ -400,74 +603,98 @@ func (m *Manager) flushFrameLocked(f *Frame) error {
 		return err
 	}
 	m.met.diskWrites.Inc()
-	delete(m.dirty, f.id)
+	delete(s.dirty, f.id)
 	return nil
 }
 
 // CommitTxn makes txn's pages committed at commit timestamp cts.
 func (m *Manager) CommitTxn(txn, cts uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for id := range m.txnPages[txn] {
-		delete(m.dirtyBy, id)
-		m.pageTS[id] = cts
-	}
+	m.txnMu.Lock()
+	pages := m.txnPages[txn]
 	delete(m.txnPages, txn)
+	m.txnMu.Unlock()
+	for id := range pages {
+		s := m.stripeFor(id.Page)
+		s.lock(m)
+		delete(s.dirtyBy, id)
+		s.pageTS[id] = cts
+		s.mu.Unlock()
+	}
 }
 
 // RollbackTxn restores the pre-images of every page txn dirtied and discards
 // the transaction's versions.
 func (m *Manager) RollbackTxn(txn uint64) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for id := range m.txnPages[txn] {
-		chain := m.chains[id]
-		if len(chain) > 0 && chain[0].ts == m.pageTS[id] {
-			// The chain top is the pre-image pushed by this transaction's
-			// first touch: copy it back and pop it.
-			f, err := m.loadLocked(id)
-			if err != nil {
-				return err
-			}
-			copy(f.data, chain[0].data)
-			if len(chain) == 1 {
-				delete(m.chains, id)
-			} else {
-				m.chains[id] = chain[1:]
-			}
-			m.met.versionsFreed.Inc()
-			m.met.versionsLive.Dec()
-			m.dirty[id] = true // disk may hold the discarded bytes
-		} else {
-			// Freshly allocated page (PinNew): no pre-image to restore. The
-			// content is unreachable garbage; zero it defensively.
-			if f := m.frames[id]; f != nil {
-				for i := range f.data {
-					f.data[i] = 0
-				}
-			}
-			m.dirty[id] = true
-		}
-		delete(m.dirtyBy, id)
-	}
+	m.txnMu.Lock()
+	pages := m.txnPages[txn]
 	delete(m.txnPages, txn)
+	m.txnMu.Unlock()
+	for id := range pages {
+		s := m.stripeFor(id.Page)
+		s.lock(m)
+		if err := s.rollbackPage(m, id); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// rollbackPage undoes txn's changes to one page. The caller holds the
+// stripe write lock.
+func (s *stripe) rollbackPage(m *Manager, id sas.PageID) error {
+	chain := s.chains[id]
+	if len(chain) > 0 && chain[0].ts == s.pageTS[id] {
+		// The chain top is the pre-image pushed by this transaction's
+		// first touch: copy it back and pop it.
+		f, err := s.load(m, id)
+		if err != nil {
+			return err
+		}
+		copy(f.data, chain[0].data)
+		if len(chain) == 1 {
+			delete(s.chains, id)
+		} else {
+			s.chains[id] = chain[1:]
+		}
+		m.met.versionsFreed.Inc()
+		m.met.versionsLive.Dec()
+		s.dirty[id] = true // disk may hold the discarded bytes
+	} else {
+		// Freshly allocated page (PinNew): no pre-image to restore. The
+		// content is unreachable garbage; zero it defensively.
+		if f := s.frames[id]; f != nil {
+			for i := range f.data {
+				f.data[i] = 0
+			}
+		}
+		s.dirty[id] = true
+	}
+	delete(s.dirtyBy, id)
 	return nil
 }
 
 // ReadSnapshot copies the content of the page as of snapshot timestamp
 // snapTS into buf. A page that did not exist at the snapshot reads as
-// zeros.
+// zeros. It runs entirely under the stripe read lock, so snapshot readers
+// never block each other — the paper's "read-only transactions are never
+// blocked" (§6.3). Copying the live frame under the read lock is safe:
+// a writer first sets dirtyBy under the write lock (making the live
+// content invisible here) and the commit that clears dirtyBy again takes
+// the write lock after the writer's last mutation.
 func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
 	if len(buf) != sas.PageSize {
 		return fmt.Errorf("buffer: ReadSnapshot buffer is %d bytes", len(buf))
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	s := m.stripeFor(id.Page)
+	s.rlock(m)
+	defer s.mu.RUnlock()
 	m.met.snapshotReads.Inc()
-	if m.dirtyBy[id] == 0 && m.pageTS[id] <= snapTS {
+	if s.dirtyBy[id] == 0 && s.pageTS[id] <= snapTS {
 		// The live content is visible.
-		if f := m.frames[id]; f != nil {
-			m.touch(f)
+		if f := s.frames[id]; f != nil {
+			f.ref.Store(true)
 			copy(buf, f.data)
 			return nil
 		}
@@ -477,7 +704,7 @@ func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
 		m.met.diskReads.Inc()
 		return nil
 	}
-	for _, v := range m.chains[id] {
+	for _, v := range s.chains[id] {
 		if v.ts <= snapTS {
 			copy(buf, v.data)
 			return nil
@@ -490,11 +717,12 @@ func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
 	return nil
 }
 
-// purgeChainLocked drops versions of the page that no active snapshot can
-// read. A version with timestamp v.ts is the visible one for snapshot s iff
-// v.ts <= s and s is below the timestamp of the next newer content.
-func (m *Manager) purgeChainLocked(id sas.PageID) {
-	chain := m.chains[id]
+// purgeChain drops versions of the page that no active snapshot can read.
+// A version with timestamp v.ts is the visible one for snapshot s iff
+// v.ts <= s and s is below the timestamp of the next newer content. The
+// caller holds the stripe write lock.
+func (s *stripe) purgeChain(m *Manager, id sas.PageID) {
+	chain := s.chains[id]
 	if len(chain) == 0 {
 		return
 	}
@@ -502,8 +730,8 @@ func (m *Manager) purgeChainLocked(id sas.PageID) {
 	if m.activeSnaps != nil {
 		snaps = m.activeSnaps()
 	}
-	nextTS := m.pageTS[id] // timestamp of the next newer content (live)
-	dirty := m.dirtyBy[id] != 0
+	nextTS := s.pageTS[id] // timestamp of the next newer content (live)
+	dirty := s.dirtyBy[id] != 0
 	kept := chain[:0]
 	for i, v := range chain {
 		needed := false
@@ -514,8 +742,8 @@ func (m *Manager) purgeChainLocked(id sas.PageID) {
 			// it.
 			needed = true
 		} else {
-			for _, s := range snaps {
-				if v.ts <= s && s < nextTS {
+			for _, sn := range snaps {
+				if v.ts <= sn && sn < nextTS {
 					needed = true
 					break
 				}
@@ -530,35 +758,40 @@ func (m *Manager) purgeChainLocked(id sas.PageID) {
 		nextTS = v.ts
 	}
 	if len(kept) == 0 {
-		delete(m.chains, id)
+		delete(s.chains, id)
 	} else {
-		m.chains[id] = kept
+		s.chains[id] = kept
 	}
 }
 
 // PurgeAllVersions runs the purge rule over every chain; the transaction
-// manager calls it when snapshots advance.
+// manager calls it when snapshots advance. Stripes are processed one at a
+// time, so concurrent readers on other stripes are unaffected.
 func (m *Manager) PurgeAllVersions() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for id := range m.chains {
-		if m.dirtyBy[id] != 0 {
-			// The chain top is an uncommitted pre-image; leave the chain to
-			// rollback/commit handling.
-			continue
+	for _, s := range m.stripes {
+		s.lock(m)
+		for id := range s.chains {
+			if s.dirtyBy[id] != 0 {
+				// The chain top is an uncommitted pre-image; leave the chain
+				// to rollback/commit handling.
+				continue
+			}
+			s.purgeChain(m, id)
 		}
-		m.purgeChainLocked(id)
+		s.mu.Unlock()
 	}
 }
 
 // VersionCount returns the total number of retained pre-images (for tests
 // and the E12 experiment).
 func (m *Manager) VersionCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	n := 0
-	for _, c := range m.chains {
-		n += len(c)
+	for _, s := range m.stripes {
+		s.rlock(m)
+		for _, c := range s.chains {
+			n += len(c)
+		}
+		s.mu.RUnlock()
 	}
 	return n
 }
@@ -567,35 +800,39 @@ func (m *Manager) VersionCount() int {
 // snapshot-area saves) and syncs. Uncommitted pages are skipped. The engine
 // must quiesce writers first.
 func (m *Manager) FlushCommitted() error {
-	m.mu.Lock()
-	var ids []sas.PageID
-	for id := range m.dirty {
-		if m.dirtyBy[id] == 0 {
-			ids = append(ids, id)
+	for _, s := range m.stripes {
+		s.lock(m)
+		var ids []sas.PageID
+		for id := range s.dirty {
+			if s.dirtyBy[id] == 0 {
+				ids = append(ids, id)
+			}
 		}
+		for _, id := range ids {
+			f, err := s.load(m, id)
+			if err != nil {
+				s.mu.Unlock()
+				return err
+			}
+			if err := s.flushFrame(m, f); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+		s.mu.Unlock()
 	}
-	for _, id := range ids {
-		f, err := m.loadLocked(id)
-		if err != nil {
-			m.mu.Unlock()
-			return err
-		}
-		if err := m.flushFrameLocked(f); err != nil {
-			m.mu.Unlock()
-			return err
-		}
-	}
-	m.mu.Unlock()
 	return m.pf.Sync()
 }
 
 // DropVersions discards every version chain and commit-timestamp record.
 // Used after recovery and at shutdown, when no snapshots exist.
 func (m *Manager) DropVersions() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.chains = make(map[sas.PageID][]pageVersion)
-	m.pageTS = make(map[sas.PageID]uint64)
+	for _, s := range m.stripes {
+		s.lock(m)
+		s.chains = make(map[sas.PageID][]pageVersion)
+		s.pageTS = make(map[sas.PageID]uint64)
+		s.mu.Unlock()
+	}
 	m.met.versionsLive.Set(0)
 }
 
@@ -603,28 +840,38 @@ func (m *Manager) DropVersions() {
 // Used by recovery before re-reading the restored data file, and by hot
 // backup tests. Panics if any frame is pinned.
 func (m *Manager) InvalidateAll() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for _, f := range m.frames {
-		if f.pin > 0 {
-			panic("buffer: InvalidateAll with pinned frames")
+	for _, s := range m.stripes {
+		s.lock(m)
+		for _, f := range s.frames {
+			if f.pin.Load() > 0 {
+				s.mu.Unlock()
+				panic("buffer: InvalidateAll with pinned frames")
+			}
 		}
+		s.frames = make(map[sas.PageID]*Frame)
+		s.clock = nil
+		s.hand = 0
+		s.slots = make([]slotEntry, len(s.slots))
+		s.dirty = make(map[sas.PageID]bool)
+		s.dirtyBy = make(map[sas.PageID]uint64)
+		s.chains = make(map[sas.PageID][]pageVersion)
+		s.pageTS = make(map[sas.PageID]uint64)
+		s.mu.Unlock()
 	}
-	m.frames = make(map[sas.PageID]*Frame)
-	m.lru = list.New()
-	m.slots = make([]slotEntry, sas.PagesPerLayer)
-	m.dirty = make(map[sas.PageID]bool)
-	m.dirtyBy = make(map[sas.PageID]uint64)
+	m.txnMu.Lock()
 	m.txnPages = make(map[uint64]map[sas.PageID]struct{})
-	m.chains = make(map[sas.PageID][]pageVersion)
-	m.pageTS = make(map[sas.PageID]uint64)
+	m.txnMu.Unlock()
 	m.met.versionsLive.Set(0)
 }
 
 // DirtyCount returns the number of pages whose live content differs from
 // disk.
 func (m *Manager) DirtyCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.dirty)
+	n := 0
+	for _, s := range m.stripes {
+		s.rlock(m)
+		n += len(s.dirty)
+		s.mu.RUnlock()
+	}
+	return n
 }

@@ -1,0 +1,211 @@
+package buffer
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sedna/internal/sas"
+)
+
+// hammerPool runs readers, snapshot readers, writers and a janitor over a
+// shared pool and verifies the last committed byte of every written page
+// afterwards. Run under -race it exercises the stripe read-lock deref fast
+// path, clock-sweep eviction, pin/unpin atomics, version chains and commit
+// against each other.
+func hammerPool(t *testing.T, capacity, pages, readers, writers, iters int) {
+	t.Helper()
+	m, pf, _ := newTestManager(t, capacity)
+	ids := make([]sas.PageID, pages)
+	for i := range ids {
+		ids[i] = pf.Alloc()
+	}
+	var cts atomic.Uint64
+	m.SetActiveSnapshots(func() []uint64 { return []uint64{cts.Load()} })
+
+	var wg sync.WaitGroup
+	var busy atomic.Uint64
+	errc := make(chan error, readers+writers+1)
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			buf := make([]byte, sas.PageSize)
+			for i := 0; i < iters; i++ {
+				id := ids[rng.Intn(len(ids))]
+				if i%4 == 0 {
+					if err := m.ReadSnapshot(id, cts.Load(), buf); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				f, err := m.Deref(id.Ptr())
+				if err != nil {
+					if errors.Is(err, ErrBusy) {
+						busy.Add(1)
+						continue
+					}
+					errc <- err
+					return
+				}
+				_ = f.Data()[0]
+				m.Unpin(f)
+			}
+		}(int64(r))
+	}
+
+	// Each writer owns a disjoint partition of pages, mirroring the
+	// document-granularity 2PL above the buffer layer.
+	want := make([][]byte, writers) // last committed byte per partition slot
+	for w := 0; w < writers; w++ {
+		want[w] = make([]byte, pages)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			part := ids[w*pages/writers : (w+1)*pages/writers]
+			for i := 0; i < iters; i++ {
+				txn := uint64(1 + w + writers*(i+1))
+				slot := rng.Intn(len(part))
+				id := part[slot]
+				f, err := m.PinWrite(id, txn)
+				if err != nil {
+					if errors.Is(err, ErrBusy) {
+						busy.Add(1)
+						continue
+					}
+					errc <- err
+					return
+				}
+				v := byte(1 + (i % 250))
+				f.Data()[0] = v
+				m.Unpin(f)
+				if i%7 == 3 {
+					if err := m.RollbackTxn(txn); err != nil {
+						errc <- err
+						return
+					}
+					continue
+				}
+				m.CommitTxn(txn, cts.Add(1))
+				want[w][w*pages/writers+slot] = v
+			}
+		}(w)
+	}
+
+	// Janitor: version purge and counter reads race the workers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			m.PurgeAllVersions()
+			_ = m.VersionCount()
+			_ = m.DirtyCount()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if n := busy.Load(); n > uint64(iters) {
+		t.Fatalf("excessive ErrBusy under pin retry: %d", n)
+	}
+
+	// Every partition slot must hold its last committed byte, both live and
+	// through a current-timestamp snapshot read.
+	snap := make([]byte, sas.PageSize)
+	now := cts.Load()
+	for w := 0; w < writers; w++ {
+		for slot, v := range want[w] {
+			if v == 0 {
+				continue
+			}
+			f, err := m.Pin(ids[slot])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Data()[0]; got != v {
+				t.Fatalf("page %v live byte = %d, want %d", ids[slot], got, v)
+			}
+			m.Unpin(f)
+			if err := m.ReadSnapshot(ids[slot], now, snap); err != nil {
+				t.Fatal(err)
+			}
+			if snap[0] != v {
+				t.Fatalf("page %v snapshot byte = %d, want %d", ids[slot], snap[0], v)
+			}
+		}
+	}
+}
+
+// TestStressTinyPool hammers a capacity-4 pool (a single stripe), so every
+// operation contends for the same mutex and eviction churns constantly.
+func TestStressTinyPool(t *testing.T) {
+	hammerPool(t, 4, 16, 2, 2, 300)
+}
+
+// TestStressStripedPool hammers a pool large enough to shard into the full
+// stripe fan-out, with more pages than frames so the clock sweep runs under
+// concurrent pinning.
+func TestStressStripedPool(t *testing.T) {
+	capacity := maxStripes * minStripeFrames // 1024: full fan-out
+	m, _, _ := newTestManager(t, capacity)
+	if m.Stripes() != maxStripes {
+		t.Fatalf("stripes = %d, want %d", m.Stripes(), maxStripes)
+	}
+	hammerPool(t, capacity, capacity+capacity/2, 4, 2, 250)
+}
+
+func TestDoubleUnpinPanics(t *testing.T) {
+	m, pf, _ := newTestManager(t, 8)
+	f, err := m.Pin(pf.Alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unpin(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Unpin must panic")
+		}
+	}()
+	m.Unpin(f)
+}
+
+// TestPinWaitRecovers pins every frame, releases one from another goroutine
+// shortly after, and expects the blocked Pin to succeed within the bounded
+// wait instead of surfacing ErrBusy.
+func TestPinWaitRecovers(t *testing.T) {
+	m, pf, _ := newTestManager(t, 2)
+	p1, p2, p3 := pf.Alloc(), pf.Alloc(), pf.Alloc()
+	f1, err := m.Pin(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := m.Pin(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		m.Unpin(f2)
+	}()
+	f3, err := m.Pin(p3)
+	if err != nil {
+		t.Fatalf("Pin did not recover from transient pin pressure: %v", err)
+	}
+	m.Unpin(f3)
+	m.Unpin(f1)
+	if got := m.Metrics().Snapshot().Counters["buffer.pin_waits"]; got == 0 {
+		t.Fatal("buffer.pin_waits not incremented")
+	}
+}

@@ -306,12 +306,19 @@ func (t *Tx) Commit() error {
 		err = t.Tx.Commit()
 	} else {
 		t.db.pubMu.Lock()
+		// Clone metadata before the inner commit: committing releases the
+		// document locks, after which another writer may mutate the live
+		// schema while we are still flattening it.
+		clones := make([]*storage.Doc, len(touched))
+		for i, doc := range touched {
+			clones[i] = cloneDoc(doc)
+		}
 		err = t.Tx.Commit()
 		if err == nil {
 			cts := t.Tx.CommitTS()
 			minSnap := t.db.txm.MinActiveSnapshot()
-			for _, doc := range touched {
-				t.db.docVers.publish(doc.Name, cts, cloneDoc(doc), minSnap)
+			for i, doc := range touched {
+				t.db.docVers.publish(doc.Name, cts, clones[i], minSnap)
 			}
 			for _, name := range t.pendingDrops {
 				t.db.docVers.publish(name, cts, nil, minSnap)

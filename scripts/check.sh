@@ -24,6 +24,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrency-sensitive packages) =="
-go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/lock ./internal/server
+go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/wal \
+    ./internal/txn ./internal/core ./internal/lock ./internal/server
 
 echo "check.sh: all green"
