@@ -13,6 +13,7 @@
 //	\metrics      print the server's metrics snapshot
 //	\slowlog [N]  print the last N retained slow-query traces (default all)
 //	\slowthreshold DUR   set the slow-query threshold (e.g. 50ms; 0 = off)
+//	\workers [N]  show or set the intra-query parallelism cap (0 = default)
 //	\q            quit
 //
 // EXPLAIN <stmt> and PROFILE <stmt> are regular statements — end them with
@@ -159,6 +160,27 @@ func command(c *client.Conn, cmd string) bool {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		} else {
 			fmt.Printf("slow-query threshold set to %s\n", d)
+		}
+	case `\workers`:
+		if len(fields) == 1 {
+			n, err := c.QueryWorkers()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fmt.Printf("query workers: %d\n", n)
+			}
+			return true
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, `usage: \workers [N] (0 = server default, 1 = serial)`)
+			return true
+		}
+		n, err := c.SetQueryWorkers(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Printf("query workers: %d\n", n)
 		}
 	case `\load`:
 		if len(fields) != 3 {

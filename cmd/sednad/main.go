@@ -27,6 +27,7 @@ func main() {
 	traceOn := flag.Bool("trace", false, "record a span trace for every statement")
 	slowThreshold := flag.Duration("slow-query-threshold", 0, "log statements at or above this duration to the slow-query log (0 = off; runtime-settable via SLOWLOG)")
 	slowLog := flag.String("slow-log", "", "slow-query log path (default <dir>/slowlog.jsonl)")
+	queryWorkers := flag.Int("query-workers", 0, "intra-query parallelism cap per statement (0 = GOMAXPROCS, 1 = serial; runtime-settable via WORKERS)")
 	flag.Parse()
 
 	db, err := core.Open(*dir, core.Options{
@@ -35,6 +36,7 @@ func main() {
 		TraceEnabled:       *traceOn,
 		SlowQueryThreshold: *slowThreshold,
 		SlowLogPath:        *slowLog,
+		QueryWorkers:       *queryWorkers,
 	})
 	if err != nil {
 		log.Fatalf("sednad: open: %v", err)
@@ -42,6 +44,7 @@ func main() {
 	if *slowThreshold > 0 {
 		log.Printf("sednad: slow-query threshold %s", slowThreshold.String())
 	}
+	log.Printf("sednad: query workers %d", db.QueryWorkers())
 	srv, err := server.Listen(db, *addr)
 	if err != nil {
 		db.Close()

@@ -40,6 +40,34 @@ func LoadAuction(db *sedna.DB, people, items, bids int) error {
 	return db.LoadXML("auction", strings.NewReader(xmlgen.AuctionString(people, items, bids, 42)))
 }
 
+// LoadSections loads a Sections corpus (sections distinctly named section
+// elements of perSection items each — the multi-schema-node shape the
+// parallel executor fans out over) as document "cat".
+func LoadSections(db *sedna.DB, sections, perSection int) error {
+	return db.LoadXML("cat", strings.NewReader(xmlgen.SectionsString(sections, perSection, 42)))
+}
+
+// QueryWorkers runs a query under an explicit intra-query worker budget
+// (1 = serial baseline) and returns the result data plus executor stats.
+func QueryWorkers(db *sedna.DB, src string, workers int) (string, query.ExecStats, error) {
+	tx, err := db.Internal().BeginReadOnly()
+	if err != nil {
+		return "", query.ExecStats{}, err
+	}
+	defer tx.Rollback()
+	ctx := query.NewExecCtx(tx)
+	ctx.Workers = workers
+	res, err := query.Execute(ctx, src)
+	if err != nil {
+		return "", query.ExecStats{}, err
+	}
+	var sb strings.Builder
+	if err := res.Serialize(&sb); err != nil {
+		return "", query.ExecStats{}, err
+	}
+	return sb.String(), ctx.Profile.ExecStats, nil
+}
+
 // SubtreeStore builds the subtree-clustered baseline store with the same
 // library corpus inside the same database (separate pages).
 func SubtreeStore(db *sedna.DB, n int) (*subtree.Store, *core.Tx, error) {

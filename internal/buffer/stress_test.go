@@ -23,6 +23,15 @@ func hammerPool(t *testing.T, capacity, pages, readers, writers, iters int) {
 	for i := range ids {
 		ids[i] = pf.Alloc()
 	}
+	// Live (non-snapshot) reads model a reader transaction holding its own
+	// document lock, so they target reader-owned pages: document-granularity
+	// 2PL above this layer excludes live read/write overlap on one
+	// document's pages. Snapshot reads are lock-free by design and hammer
+	// every page, including the writers'.
+	roIDs := make([]sas.PageID, 4)
+	for i := range roIDs {
+		roIDs[i] = pf.Alloc()
+	}
 	var cts atomic.Uint64
 	m.SetActiveSnapshots(func() []uint64 { return []uint64{cts.Load()} })
 
@@ -45,7 +54,7 @@ func hammerPool(t *testing.T, capacity, pages, readers, writers, iters int) {
 					}
 					continue
 				}
-				f, err := m.Deref(id.Ptr())
+				f, err := m.Deref(roIDs[rng.Intn(len(roIDs))].Ptr())
 				if err != nil {
 					if errors.Is(err, ErrBusy) {
 						busy.Add(1)

@@ -171,6 +171,33 @@ type ExecStats struct {
 	IndexScans  uint64 `json:"index_scans,omitempty"`  // index-scan() lookups
 }
 
+// The Add* methods below increment ExecStats counters atomically: the
+// parallel query executor accumulates events from several worker goroutines
+// into one statement's stats block. Plain reads of the fields after the
+// statement joins its workers are safe (the join is the happens-before
+// edge); the struct layout and JSON form are unchanged.
+
+// AddDDOOps counts n explicit DDO operations.
+func (s *ExecStats) AddDDOOps(n uint64) { atomic.AddUint64(&s.DDOOps, n) }
+
+// AddDeepCopies counts n constructor deep copies.
+func (s *ExecStats) AddDeepCopies(n uint64) { atomic.AddUint64(&s.DeepCopies, n) }
+
+// AddVirtualRefs counts n deep copies avoided by virtual constructors.
+func (s *ExecStats) AddVirtualRefs(n uint64) { atomic.AddUint64(&s.VirtualRefs, n) }
+
+// AddBytesCopied counts n text bytes copied during deep copies.
+func (s *ExecStats) AddBytesCopied(n uint64) { atomic.AddUint64(&s.BytesCopied, n) }
+
+// AddSchemaScans counts n schema-node block-list scans.
+func (s *ExecStats) AddSchemaScans(n uint64) { atomic.AddUint64(&s.SchemaScans, n) }
+
+// AddLazyHits counts n lazy-clause cache hits.
+func (s *ExecStats) AddLazyHits(n uint64) { atomic.AddUint64(&s.LazyHits, n) }
+
+// AddIndexScans counts n index-scan() lookups.
+func (s *ExecStats) AddIndexScans(n uint64) { atomic.AddUint64(&s.IndexScans, n) }
+
 // QueryProfile records how one statement execution spent its time and what
 // it touched; the query executor fills one per statement. The embedded
 // ExecStats folds the executor's event counters into the same record, so

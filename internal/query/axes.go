@@ -240,6 +240,11 @@ func descendantAxis(env *env, n *NodeItem, test NodeTest, orSelf bool, out []Ite
 	if len(matched) == 0 {
 		return out, nil
 	}
+	if merged, ok, err := parallelStreams(env, n.Doc, matched, n.D.Label, out); err != nil {
+		return nil, err
+	} else if ok {
+		return merged, nil
+	}
 	streams := make([]*rangeScan, 0, len(matched))
 	for _, m := range matched {
 		rs, err := newRangeScan(env, n.Doc, m, n.D.Label)
@@ -266,7 +271,7 @@ type rangeScan struct {
 // precedes the range are skipped via their headers (the partial order makes
 // this sound).
 func newRangeScan(env *env, doc *storage.Doc, sn *schema.Node, anc nid.Label) (*rangeScan, error) {
-	env.ctx.Profile.SchemaScans++
+	env.ctx.stats().AddSchemaScans(1)
 	d, ok, err := storage.FirstInRange(env.r, sn, anc)
 	if err != nil {
 		return nil, err

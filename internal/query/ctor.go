@@ -68,9 +68,9 @@ func evalElementCtor(c *ElementCtor, e *env, f *focus) (*TempNode, error) {
 					ref := e.ctx.newTempNode(schema.KindElement, "")
 					ref.Ref = x
 					t.append(ref)
-					e.ctx.Profile.VirtualRefs++
+					e.ctx.stats().AddVirtualRefs(1)
 				} else {
-					e.ctx.Profile.DeepCopies++
+					e.ctx.stats().AddDeepCopies(1)
 					cp, err := deepCopyStored(e, x)
 					if err != nil {
 						return nil, err

@@ -248,7 +248,7 @@ func indexKeyOf(e *env, node *NodeItem, bySteps []*Step, keyType string) (index.
 // cost-based index selection is future work in the paper, so index access
 // is explicit, as in the original system.
 func evalIndexScan(e *env, name string, value *Atomic) ([]Item, error) {
-	e.ctx.Profile.IndexScans++
+	e.ctx.stats().AddIndexScans(1)
 	meta, ok := e.ctx.Tx.DB().Catalog().Index(name)
 	if !ok {
 		return nil, fmt.Errorf("query: index %q does not exist", name)

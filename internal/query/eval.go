@@ -309,7 +309,7 @@ func evalStepInner(s *Step, e *env, f *focus) ([]Item, error) {
 		out = append(out, local...)
 	}
 	if s.NeedDDO && len(out) > 1 {
-		e.ctx.Profile.DDOOps++
+		e.ctx.stats().AddDDOOps(1)
 		return ddo(out)
 	}
 	return out, nil
@@ -351,18 +351,25 @@ func applyPredicates(items []Item, preds []Expr, e *env) ([]Item, error) {
 	return items, nil
 }
 
+// flworTuple is one tuple of the FLWOR tuple stream: the return items plus
+// the order-by keys evaluated in the tuple's scope.
+type flworTuple struct {
+	items []Item
+	keys  []*Atomic
+}
+
 // evalFLWOR evaluates for/let/where/order-by/return with nested-loop
 // semantics; lazy clauses (§5.1.3) evaluate their binding sequence once and
-// reuse it across outer iterations.
+// reuse it across outer iterations. When the first clause is a for-clause
+// whose body is safe for concurrent evaluation, the bindings fan out over
+// the statement's worker pool (parallelFLWOR) with an order-preserving
+// gather; the nested loop below remains the serial path and the semantic
+// reference.
 func evalFLWOR(fl *FLWOR, e *env, f *focus) ([]Item, error) {
-	type tupleResult struct {
-		items []Item
-		keys  []*Atomic
-	}
-	var results []tupleResult
+	var results []flworTuple
 
-	var run func(i int, e *env) error
-	run = func(i int, e *env) error {
+	var run func(i int, e *env, sink *[]flworTuple) error
+	run = func(i int, e *env, sink *[]flworTuple) error {
 		if i == len(fl.Clauses) {
 			if fl.Where != nil {
 				v, err := eval(fl.Where, e, f)
@@ -396,7 +403,7 @@ func evalFLWOR(fl *FLWOR, e *env, f *focus) ([]Item, error) {
 			if err != nil {
 				return err
 			}
-			results = append(results, tupleResult{items: v, keys: keys})
+			*sink = append(*sink, flworTuple{items: v, keys: keys})
 			return nil
 		}
 		cl := fl.Clauses[i]
@@ -405,21 +412,27 @@ func evalFLWOR(fl *FLWOR, e *env, f *focus) ([]Item, error) {
 			return err
 		}
 		if cl.Let {
-			return run(i+1, e.bind(cl.Var, seq))
+			return run(i+1, e.bind(cl.Var, seq), sink)
 		}
 		for pos, it := range seq {
 			ne := e.bind(cl.Var, []Item{it})
 			if cl.PosVar != "" {
 				ne = ne.bind(cl.PosVar, []Item{num(float64(pos + 1))})
 			}
-			if err := run(i+1, ne); err != nil {
+			if err := run(i+1, ne, sink); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	if err := run(0, e); err != nil {
+	handled, err := parallelFLWOR(fl, e, f, run, &results)
+	if err != nil {
 		return nil, err
+	}
+	if !handled {
+		if err := run(0, e, &results); err != nil {
+			return nil, err
+		}
 	}
 
 	if len(fl.OrderBy) > 0 {
@@ -450,8 +463,8 @@ func evalFLWOR(fl *FLWOR, e *env, f *focus) ([]Item, error) {
 // flag by caching the first evaluation (§5.1.3).
 func evalClauseSeq(cl *ForClause, e *env, f *focus) ([]Item, error) {
 	if cl.Lazy {
-		if v, ok := e.ctx.lazyCache[cl.CacheID]; ok {
-			e.ctx.Profile.LazyHits++
+		if v, ok := e.ctx.lazyLookup(cl.CacheID); ok {
+			e.ctx.stats().AddLazyHits(1)
 			return v, nil
 		}
 	}
@@ -460,7 +473,7 @@ func evalClauseSeq(cl *ForClause, e *env, f *focus) ([]Item, error) {
 		return nil, err
 	}
 	if cl.Lazy {
-		e.ctx.lazyCache[cl.CacheID] = v
+		e.ctx.lazyStore(cl.CacheID, v)
 	}
 	return v, nil
 }
@@ -675,7 +688,7 @@ func evalBinary(n *Binary, e *env, f *focus) ([]Item, error) {
 		}
 		switch n.Op {
 		case OpUnion:
-			e.ctx.Profile.DDOOps++
+			e.ctx.stats().AddDDOOps(1)
 			return ddo(append(append([]Item{}, l...), r...))
 		case OpIntersect:
 			keys := make(map[any]bool)
@@ -690,7 +703,7 @@ func evalBinary(n *Binary, e *env, f *focus) ([]Item, error) {
 					out = append(out, it)
 				}
 			}
-			e.ctx.Profile.DDOOps++
+			e.ctx.stats().AddDDOOps(1)
 			return ddo(out)
 		default:
 			keys := make(map[any]bool)
@@ -705,7 +718,7 @@ func evalBinary(n *Binary, e *env, f *focus) ([]Item, error) {
 					out = append(out, it)
 				}
 			}
-			e.ctx.Profile.DDOOps++
+			e.ctx.stats().AddDDOOps(1)
 			return ddo(out)
 		}
 	default:

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sedna/internal/core"
@@ -29,6 +31,12 @@ type ExecCtx struct {
 	// (baseline for E9).
 	NoVirtualCtors bool
 
+	// Workers caps intra-query parallelism for statements run through this
+	// context: 1 forces serial execution, 0 resolves the database's
+	// -query-workers setting (default GOMAXPROCS). Set it before the first
+	// statement; the worker pool is built on first use.
+	Workers int
+
 	// updateStmt is set while executing an update statement so that
 	// document resolution takes exclusive locks up front, avoiding the
 	// classic shared→exclusive upgrade deadlock between two updaters.
@@ -36,8 +44,16 @@ type ExecCtx struct {
 
 	funcs     map[string]*FuncDecl
 	globalEnv *env // prolog-variable scope, used by function bodies
-	lazyCache map[int][]Item
-	tempOrd   uint64
+
+	// sh is the executor state shared between the root context and its
+	// worker forks: the stats block, the lazy-clause cache, the temp-node
+	// ordinal counter and the worker pool.
+	sh *execShared
+
+	// forked marks a worker's view of the context (see fork). A forked
+	// context owns its span cursor but never re-points the transaction's
+	// event span — that stays with the coordinator.
+	forked bool
 
 	// Tracing state: the database's tracer, the open trace (nil when not
 	// tracing — the disabled path's single check) and the innermost open
@@ -47,13 +63,86 @@ type ExecCtx struct {
 	span   *trace.Span
 }
 
+// execShared is the per-statement executor state a root context shares with
+// its worker forks. Everything here is safe for concurrent use: the profile
+// counters are accumulated atomically, the lazy cache is mutex-guarded, the
+// ordinal counter is atomic, and the pool hands out goroutine tokens.
+type execShared struct {
+	prof    *metrics.QueryProfile // the root context's Profile
+	lazyMu  sync.Mutex
+	lazy    map[int][]Item
+	tempOrd atomic.Uint64
+
+	poolOnce sync.Once
+	pool     *workerPool
+}
+
 // NewExecCtx creates an execution context over an engine transaction.
 func NewExecCtx(tx *core.Tx) *ExecCtx {
-	ctx := &ExecCtx{Tx: tx, lazyCache: make(map[int][]Item)}
+	ctx := &ExecCtx{Tx: tx}
+	ctx.sh = &execShared{prof: &ctx.Profile, lazy: make(map[int][]Item)}
 	if tx != nil && tx.DB() != nil {
 		ctx.tracer = tx.DB().Tracer()
 	}
 	return ctx
+}
+
+// shared returns the context's shared executor state, creating it for bare
+// contexts built without NewExecCtx (tests, tools). Must first be called
+// from the statement's coordinating goroutine, which every execution path
+// does before any fan-out.
+func (ctx *ExecCtx) shared() *execShared {
+	if ctx.sh == nil {
+		ctx.sh = &execShared{prof: &ctx.Profile, lazy: make(map[int][]Item)}
+	}
+	return ctx.sh
+}
+
+// stats returns the ExecStats block executor events accumulate into: always
+// the root context's profile, shared by worker forks. Callers increment
+// through the atomic Add* methods.
+func (ctx *ExecCtx) stats() *metrics.ExecStats {
+	return &ctx.shared().prof.ExecStats
+}
+
+// lazyLookup consults the shared lazy-clause cache.
+func (ctx *ExecCtx) lazyLookup(id int) ([]Item, bool) {
+	sh := ctx.shared()
+	sh.lazyMu.Lock()
+	v, ok := sh.lazy[id]
+	sh.lazyMu.Unlock()
+	return v, ok
+}
+
+// lazyStore records a lazy clause's materialized binding sequence. Racing
+// workers may store the same id; either value is correct (both evaluated
+// the same expression over the same snapshot), so last-write-wins is fine.
+func (ctx *ExecCtx) lazyStore(id int, v []Item) {
+	sh := ctx.shared()
+	sh.lazyMu.Lock()
+	sh.lazy[id] = v
+	sh.lazyMu.Unlock()
+}
+
+// fork derives a worker's view of the context for one parallel section: it
+// shares the transaction, function table, rewriter switches and the shared
+// executor state, but owns its span cursor so the worker's spans nest under
+// its own "worker N" span.
+func (ctx *ExecCtx) fork(span *trace.Span) *ExecCtx {
+	return &ExecCtx{
+		Tx:             ctx.Tx,
+		NoRewrite:      ctx.NoRewrite,
+		NoVirtualCtors: ctx.NoVirtualCtors,
+		Workers:        ctx.Workers,
+		updateStmt:     ctx.updateStmt,
+		funcs:          ctx.funcs,
+		globalEnv:      ctx.globalEnv,
+		sh:             ctx.shared(),
+		forked:         true,
+		tracer:         ctx.tracer,
+		trace:          ctx.trace,
+		span:           span,
+	}
 }
 
 // StartTrace opens a trace for the statement about to execute, unless one
@@ -108,12 +197,14 @@ func (ctx *ExecCtx) RecordParse(ns int64) {
 }
 
 // pushSpan opens a child of the current span and makes it current; returns
-// nil (and stays free of side effects) when not tracing.
+// nil (and stays free of side effects) when not tracing. Worker forks keep
+// their span cursor private: only the coordinating goroutine re-points the
+// transaction's event span.
 func (ctx *ExecCtx) pushSpan(name string) *trace.Span {
 	c := ctx.span.Child(name)
 	if c != nil {
 		ctx.span = c
-		if ctx.Tx != nil {
+		if ctx.Tx != nil && !ctx.forked {
 			ctx.Tx.SetTraceSpan(c)
 		}
 	}
@@ -127,7 +218,7 @@ func (ctx *ExecCtx) popSpan(c *trace.Span) {
 	}
 	c.End()
 	ctx.span = c.Parent()
-	if ctx.Tx != nil {
+	if ctx.Tx != nil && !ctx.forked {
 		ctx.Tx.SetTraceSpan(ctx.span)
 	}
 }
@@ -263,9 +354,7 @@ func executeStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
 		clearVirtualFlags(st)
 	}
 	ctx.funcs = st.Prolog.Funcs
-	if ctx.lazyCache == nil {
-		ctx.lazyCache = make(map[int][]Item)
-	}
+	ctx.shared() // materialize shared executor state before any fan-out
 	e := &env{ctx: ctx, r: ctx.Tx.Tx}
 	// Prolog variables bind in order.
 	for _, v := range st.Prolog.Vars {

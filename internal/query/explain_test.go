@@ -135,6 +135,49 @@ func TestProfileUpdateExecutes(t *testing.T) {
 	}
 }
 
+// TestProfileParallelSpans pins how a fanned-out step renders: the step span
+// carries parallelism=N and one "worker N" child per goroutine that worked,
+// each with its own wall time.
+func TestProfileParallelSpans(t *testing.T) {
+	lowerScanGate(t)
+	db := parallelDB(t)
+	tx, err := db.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Rollback()
+	ctx := NewExecCtx(tx)
+	ctx.Workers = 4
+	res, err := Execute(ctx, `PROFILE count(doc("cat")//item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regexp.MustCompile(`parallelism=[2-4]`).MatchString(out) {
+		t.Errorf("PROFILE output missing parallelism attribute:\n%s", out)
+	}
+	if !regexp.MustCompile(`worker 0 dur=`).MatchString(out) {
+		t.Errorf("PROFILE output missing worker spans:\n%s", out)
+	}
+	// Serial execution of the same statement renders no worker spans.
+	sctx := NewExecCtx(tx)
+	sctx.Workers = 1
+	sres, err := Execute(sctx, `PROFILE count(doc("cat")//item)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sout, err := sres.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sout, "worker 0") || strings.Contains(sout, "parallelism=") {
+		t.Errorf("serial PROFILE still shows parallel spans:\n%s", sout)
+	}
+}
+
 // TestProfileWorksWithoutTracerConfig: PROFILE forces a trace even when the
 // database has tracing and the slow log off.
 func TestProfileForcesTrace(t *testing.T) {

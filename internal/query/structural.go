@@ -107,13 +107,18 @@ func evalStructural(s *Step, e *env, f *focus) ([]Item, error) {
 	if len(targets) == 1 {
 		// Single schema node: its list already is the answer in document
 		// order — no per-node work at all.
-		e.ctx.Profile.SchemaScans++
+		e.ctx.stats().AddSchemaScans(1)
 		var out []Item
 		err := storage.ScanSchema(e.r, targets[0], func(d storage.Desc) (bool, error) {
 			out = append(out, &NodeItem{Doc: doc, D: d})
 			return true, nil
 		})
 		return out, err
+	}
+	if merged, ok, err := parallelStreams(e, doc, targets, docNode.D.Label, nil); err != nil {
+		return nil, err
+	} else if ok {
+		return merged, nil
 	}
 	streams := make([]*rangeScan, 0, len(targets))
 	for _, sn := range targets {

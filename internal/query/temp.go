@@ -27,10 +27,12 @@ type TempNode struct {
 	ord uint64 // construction ordinal: document order among temp nodes
 }
 
-// newTempNode allocates a constructed node with the next ordinal.
+// newTempNode allocates a constructed node with the next ordinal. The
+// counter is atomic for safety, but parallel sections exclude constructors
+// (parallelSafeExpr) precisely because worker interleaving would make these
+// ordinals — the document order of constructed nodes — nondeterministic.
 func (c *ExecCtx) newTempNode(kind schema.NodeKind, name string) *TempNode {
-	c.tempOrd++
-	return &TempNode{Kind: kind, Name: name, ord: c.tempOrd}
+	return &TempNode{Kind: kind, Name: name, ord: c.shared().tempOrd.Add(1)}
 }
 
 // append links child under n.
@@ -48,7 +50,7 @@ func (n *TempNode) expand(env *env) error {
 	}
 	ref := n.Ref
 	n.Ref = nil
-	env.ctx.Profile.DeepCopies++
+	env.ctx.stats().AddDeepCopies(1)
 	copied, err := deepCopyStored(env, ref)
 	if err != nil {
 		return err
@@ -73,7 +75,7 @@ func deepCopyStored(env *env, it *NodeItem) (*TempNode, error) {
 			return nil, err
 		}
 		t.Text = string(b)
-		env.ctx.Profile.BytesCopied += uint64(len(b))
+		env.ctx.stats().AddBytesCopied(uint64(len(b)))
 		return t, nil
 	}
 	kids, err := storedChildren(env, it)

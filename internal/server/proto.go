@@ -24,6 +24,7 @@ const (
 	MsgQuit     = 6
 	MsgMetrics  = 7
 	MsgSlowLog  = 8
+	MsgWorkers  = 9
 )
 
 // Message types (server → client).
@@ -52,6 +53,12 @@ type Request struct {
 	N            int   `json:"n,omitempty"`
 	ThresholdNs  int64 `json:"threshold_ns,omitempty"`
 	SetThreshold bool  `json:"set_threshold,omitempty"`
+
+	// MsgWorkers: when SetWorkers is set, the server updates the intra-query
+	// parallelism cap to Workers (≤ 0 restores the GOMAXPROCS default); the
+	// response always reports the effective worker budget.
+	Workers    int  `json:"workers,omitempty"`
+	SetWorkers bool `json:"set_workers,omitempty"`
 }
 
 // Response is a server message payload.

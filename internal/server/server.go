@@ -237,6 +237,20 @@ func (g *Governor) slowLog(req *Request) (*Response, error) {
 	}, nil
 }
 
+// workers serves a MsgWorkers request: optionally retune the intra-query
+// parallelism cap (the runtime face of sednad -query-workers), then report
+// the effective worker budget.
+func (g *Governor) workers(req *Request) (*Response, error) {
+	if req.SetWorkers {
+		g.db.SetQueryWorkers(req.Workers)
+	}
+	n := g.db.QueryWorkers()
+	return &Response{
+		Data:    fmt.Sprint(n),
+		Message: fmt.Sprintf("query workers=%d", n),
+	}, nil
+}
+
 // Server accepts client connections.
 type Server struct {
 	gov *Governor
@@ -352,6 +366,8 @@ func (s *Server) handle(rawConn net.Conn) {
 			resp = &Response{Data: s.gov.Metrics().Text()}
 		case MsgSlowLog:
 			resp, rerr = s.gov.slowLog(&req)
+		case MsgWorkers:
+			resp, rerr = s.gov.workers(&req)
 		case MsgQuit:
 			WriteMsg(conn, MsgOK, &Response{Message: "bye"})
 			return
@@ -366,7 +382,7 @@ func (s *Server) handle(rawConn net.Conn) {
 			continue
 		}
 		out := byte(MsgOK)
-		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog {
+		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog || typ == MsgWorkers {
 			out = MsgResult
 		}
 		if err := WriteMsg(conn, out, resp); err != nil {

@@ -1,0 +1,56 @@
+package server_test
+
+import (
+	"runtime"
+	"testing"
+
+	"sedna/client"
+)
+
+// TestWorkersVerb smoke-tests the MsgWorkers wire verb end to end: the
+// default budget resolves to GOMAXPROCS, a set round-trips and reports the
+// new effective value, and 0 restores the default.
+func TestWorkersVerb(t *testing.T) {
+	srv := startServer(t)
+	c, err := client.Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n, err := c.QueryWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d, want GOMAXPROCS = %d", n, runtime.GOMAXPROCS(0))
+	}
+	n, err = c.SetQueryWorkers(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("SetQueryWorkers(3) reported %d", n)
+	}
+	if n, err = c.QueryWorkers(); err != nil || n != 3 {
+		t.Fatalf("workers after set = %d, %v", n, err)
+	}
+	// Statements keep flowing under the new budget.
+	if _, err := c.Execute(`CREATE DOCUMENT "w"`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(`UPDATE insert <r><x>1</x></r> into doc("w")`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(`count(doc("w")//x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data != "1" {
+		t.Fatalf("count = %q", res.Data)
+	}
+	// 0 restores the server default.
+	if n, err = c.SetQueryWorkers(0); err != nil || n != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetQueryWorkers(0) = %d, %v", n, err)
+	}
+}

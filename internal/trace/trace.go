@@ -37,9 +37,14 @@ type Attr struct {
 	IsInt bool `json:"is_int,omitempty"`
 }
 
-// Span is one timed region of a trace. Spans nest; a span and its children
-// are built on a single goroutine (the statement's), so no locking is
-// needed on the hot path. All methods are no-ops on a nil receiver.
+// Span is one timed region of a trace. Spans nest. A span's mutators are
+// guarded by a small mutex: the parallel query executor lets several worker
+// goroutines attach children and accumulate event attributes on the same
+// span (e.g. buffer faults attributed through the transaction's event
+// span), so single-goroutine discipline no longer holds. The lock is
+// uncontended on serial statements. All methods are no-ops on a nil
+// receiver; reading a finished trace needs no locking (workers are joined
+// before the trace is rendered).
 type Span struct {
 	Name     string  `json:"name"`
 	StartNs  int64   `json:"start_ns"` // offset from the trace start
@@ -47,6 +52,7 @@ type Span struct {
 	Attrs    []Attr  `json:"attrs,omitempty"`
 	Children []*Span `json:"children,omitempty"`
 
+	mu     sync.Mutex
 	parent *Span
 	t0     time.Time // trace epoch, copied to children
 	start  time.Time
@@ -60,7 +66,9 @@ func (s *Span) Child(name string) *Span {
 	}
 	now := time.Now()
 	c := &Span{Name: name, StartNs: now.Sub(s.t0).Nanoseconds(), parent: s, t0: s.t0, start: now}
+	s.mu.Lock()
 	s.Children = append(s.Children, c)
+	s.mu.Unlock()
 	return c
 }
 
@@ -71,17 +79,23 @@ func (s *Span) ChildDone(name string, durNs int64) *Span {
 		return nil
 	}
 	c := &Span{Name: name, DurNs: durNs, parent: s, t0: s.t0, ended: true}
+	s.mu.Lock()
 	s.Children = append(s.Children, c)
+	s.mu.Unlock()
 	return c
 }
 
 // End closes the span, fixing its duration. Idempotent.
 func (s *Span) End() {
-	if s == nil || s.ended {
+	if s == nil {
 		return
 	}
-	s.ended = true
-	s.DurNs = time.Since(s.start).Nanoseconds()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.DurNs = time.Since(s.start).Nanoseconds()
+	}
+	s.mu.Unlock()
 }
 
 // Parent returns the enclosing span (nil for the root).
@@ -97,15 +111,27 @@ func (s *Span) SetStr(key, v string) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	s.Attrs = append(s.Attrs, Attr{Key: key, Str: v})
+	s.mu.Unlock()
 }
 
-// SetInt sets an integer attribute.
+// SetInt sets an integer attribute, replacing an existing one of the same
+// key (a span re-annotated per parallel section keeps one value).
 func (s *Span) SetInt(key string, v int64) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
+	for i := range s.Attrs {
+		if s.Attrs[i].Key == key && s.Attrs[i].IsInt {
+			s.Attrs[i].Int = v
+			s.mu.Unlock()
+			return
+		}
+	}
 	s.Attrs = append(s.Attrs, Attr{Key: key, Int: v, IsInt: true})
+	s.mu.Unlock()
 }
 
 // AddInt adds d to an integer attribute, creating it at d if absent.
@@ -113,13 +139,16 @@ func (s *Span) AddInt(key string, d int64) {
 	if s == nil {
 		return
 	}
+	s.mu.Lock()
 	for i := range s.Attrs {
 		if s.Attrs[i].Key == key && s.Attrs[i].IsInt {
 			s.Attrs[i].Int += d
+			s.mu.Unlock()
 			return
 		}
 	}
 	s.Attrs = append(s.Attrs, Attr{Key: key, Int: d, IsInt: true})
+	s.mu.Unlock()
 }
 
 // Trace is one statement's completed (or in-flight) span tree plus the

@@ -165,9 +165,14 @@ type Tx struct {
 	done     bool
 
 	// Snapshot state (read-only transactions). The cache keeps resolved
-	// page copies for the lifetime of the transaction.
+	// page copies for the lifetime of the transaction; it is a sync.Map
+	// because the intra-query parallel executor reads one snapshot
+	// transaction from several worker goroutines. The map is read-mostly
+	// (a page resolves once, then serves every node on it), which is the
+	// sync.Map sweet spot; a racing duplicate resolve is benign — both
+	// copies hold identical snapshot content.
 	snapTS uint64
-	cache  map[sas.PageID][]byte
+	cache  sync.Map // sas.PageID → []byte
 
 	// Updater state.
 	undo   []func()
@@ -188,9 +193,11 @@ type Tx struct {
 	pagesTouched atomic.Uint64
 
 	// span is the innermost open trace span of the statement currently
-	// executing on this transaction (nil when not tracing). A transaction
-	// runs its statements on one goroutine, so a plain field suffices;
-	// buffer faults and commit-time fsyncs attach to it.
+	// executing on this transaction (nil when not tracing); buffer faults
+	// and commit-time fsyncs attach to it. The field itself is only
+	// re-pointed by the statement's coordinating goroutine (worker forks
+	// never call SetTraceSpan), and Span's methods are goroutine-safe, so
+	// workers may attribute events through it concurrently.
 	span *trace.Span
 }
 
@@ -256,7 +263,7 @@ func (m *Manager) BeginReadOnly() *Tx {
 	}
 	m.snapshots[ts]++
 	m.met.activeSnaps.Set(int64(len(m.snapshots)))
-	return &Tx{m: m, id: m.nextTxn, readonly: true, snapTS: ts, cache: make(map[sas.PageID][]byte)}
+	return &Tx{m: m, id: m.nextTxn, readonly: true, snapTS: ts}
 }
 
 // ID returns the transaction identifier.
@@ -291,14 +298,16 @@ func (tx *Tx) ReadPage(p sas.XPtr, fn func(page []byte) error) error {
 	tx.pagesTouched.Add(1)
 	if tx.readonly {
 		id := sas.PageIDOf(p)
-		page := tx.cache[id]
-		if page == nil {
-			tx.span.AddInt("snapshot_reads", 1)
-			page = make([]byte, sas.PageSize)
-			if err := tx.m.buf.ReadSnapshot(id, tx.snapTS, page); err != nil {
-				return err
-			}
-			tx.cache[id] = page
+		if v, ok := tx.cache.Load(id); ok {
+			return fn(v.([]byte))
+		}
+		tx.span.AddInt("snapshot_reads", 1)
+		page := make([]byte, sas.PageSize)
+		if err := tx.m.buf.ReadSnapshot(id, tx.snapTS, page); err != nil {
+			return err
+		}
+		if v, loaded := tx.cache.LoadOrStore(id, page); loaded {
+			page = v.([]byte)
 		}
 		return fn(page)
 	}

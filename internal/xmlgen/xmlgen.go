@@ -89,6 +89,38 @@ func Auction(w io.Writer, people, items, bidsPerItem int, seed int64) error {
 	return bw.err
 }
 
+// Sections writes a wide document whose root holds `sections` distinctly
+// named section elements (<sec0>..<secN>), each with `perSection` <item>
+// children carrying a name, a value and a note. Because every section has
+// its own element name, each lands on its own descriptive-schema node, so
+// //item resolves to `sections` independent block-list range scans — the
+// shape the intra-query parallel executor fans out over.
+func Sections(w io.Writer, sections, perSection int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	bw := &errWriter{w: w}
+	bw.puts("<catalog>\n")
+	for s := 0; s < sections; s++ {
+		fmt.Fprintf(bw, "<sec%d>\n", s)
+		for i := 0; i < perSection; i++ {
+			fmt.Fprintf(bw, `<item id="s%d-i%d"><name>%s %s</name><value>%d</value><note>%s</note></item>`,
+				s, i, adjectives[rng.Intn(len(adjectives))], topics[rng.Intn(len(topics))],
+				rng.Intn(10000), names[rng.Intn(len(names))])
+			bw.puts("\n")
+		}
+		fmt.Fprintf(bw, "</sec%d>\n", s)
+	}
+	bw.puts("</catalog>\n")
+	return bw.err
+}
+
+// SectionsString is a convenience wrapper returning the document as a
+// string.
+func SectionsString(sections, perSection int, seed int64) string {
+	var sb strings.Builder
+	_ = Sections(&sb, sections, perSection, seed)
+	return sb.String()
+}
+
 // Deep writes a tree of the given depth where every level has `fanout`
 // children, of which the first recurses further. Stresses label depth.
 func Deep(w io.Writer, depth, fanout int) error {

@@ -25,6 +25,6 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive packages) =="
 go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/wal \
-    ./internal/txn ./internal/core ./internal/lock ./internal/server
+    ./internal/txn ./internal/core ./internal/lock ./internal/server ./internal/query
 
 echo "check.sh: all green"

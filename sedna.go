@@ -62,6 +62,10 @@ type Options struct {
 	// gives the database a fresh private registry. Pass a shared registry to
 	// accumulate counters across databases (as sedna-bench does).
 	Metrics *metrics.Registry
+	// QueryWorkers caps intra-query parallelism per statement: descendant
+	// range-scan fan-out and FLWOR for-clause fan-out use at most this many
+	// goroutines (0 = GOMAXPROCS, 1 = serial).
+	QueryWorkers int
 }
 
 // DB is an open database.
@@ -85,6 +89,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		SlowQueryThreshold: o.SlowQueryThreshold,
 		SlowLogPath:        o.SlowLogPath,
 		Metrics:            o.Metrics,
+		QueryWorkers:       o.QueryWorkers,
 	})
 	if err != nil {
 		return nil, err
