@@ -130,6 +130,35 @@ func (c *Conn) SetQueryWorkers(n int) (int, error) {
 	return eff, nil
 }
 
+// PrefetchDepth returns the server's effective chain-readahead depth
+// (0 = readahead off).
+func (c *Conn) PrefetchDepth() (int, error) {
+	resp, err := c.roundTrip(server.MsgPrefetch, server.Request{})
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(resp.Data)
+	if err != nil {
+		return 0, fmt.Errorf("client: prefetch: %w", err)
+	}
+	return n, nil
+}
+
+// SetPrefetchDepth retunes the server's default chain-readahead depth at
+// runtime (n ≤ 0 disables readahead) and returns the resulting effective
+// depth.
+func (c *Conn) SetPrefetchDepth(n int) (int, error) {
+	resp, err := c.roundTrip(server.MsgPrefetch, server.Request{SetPrefetch: true, Prefetch: n})
+	if err != nil {
+		return 0, err
+	}
+	eff, err := strconv.Atoi(resp.Data)
+	if err != nil {
+		return 0, fmt.Errorf("client: prefetch: %w", err)
+	}
+	return eff, nil
+}
+
 // Begin starts an explicit transaction on the session.
 func (c *Conn) Begin(readonly bool) error {
 	_, err := c.roundTrip(server.MsgBegin, server.Request{ReadOnly: readonly})

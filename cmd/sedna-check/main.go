@@ -102,6 +102,12 @@ func printMetricsSummary(db *core.Database) {
 		fmt.Printf("  %-9s %s\n", label, strings.Join(parts, "  "))
 	}
 	row("buffer", "buffer.hits", "buffer.faults", "buffer.evictions", "buffer.versions_live")
+	if total := s.Counters["buffer.hits"] + s.Counters["buffer.faults"]; total > 0 {
+		fmt.Printf("  %-9s hit_ratio=%.4f\n", "", float64(s.Counters["buffer.hits"])/float64(total))
+	}
+	if issued := s.Counters["buffer.prefetch_issued"]; issued > 0 {
+		row("prefetch", "buffer.prefetch_issued", "buffer.prefetch_hits", "buffer.prefetch_wasted", "buffer.prefetch_dropped")
+	}
 	row("pagefile", "pagefile.reads", "pagefile.writes", "pagefile.extends")
 	row("wal", "wal.appends", "wal.fsyncs", "wal.fsync_ns")
 	row("txn", "txn.begins", "txn.begins_readonly", "txn.commits", "txn.aborts")

@@ -14,6 +14,7 @@
 //	\slowlog [N]  print the last N retained slow-query traces (default all)
 //	\slowthreshold DUR   set the slow-query threshold (e.g. 50ms; 0 = off)
 //	\workers [N]  show or set the intra-query parallelism cap (0 = default)
+//	\prefetch [D] show or set the chain-readahead depth (0 = off)
 //	\q            quit
 //
 // EXPLAIN <stmt> and PROFILE <stmt> are regular statements — end them with
@@ -181,6 +182,27 @@ func command(c *client.Conn, cmd string) bool {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		} else {
 			fmt.Printf("query workers: %d\n", n)
+		}
+	case `\prefetch`:
+		if len(fields) == 1 {
+			n, err := c.PrefetchDepth()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fmt.Printf("prefetch depth: %d\n", n)
+			}
+			return true
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || len(fields) != 2 {
+			fmt.Fprintln(os.Stderr, `usage: \prefetch [D] (chain-readahead depth; 0 = off)`)
+			return true
+		}
+		n, err := c.SetPrefetchDepth(v)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Printf("prefetch depth: %d\n", n)
 		}
 	case `\load`:
 		if len(fields) != 3 {

@@ -28,6 +28,7 @@ func main() {
 	slowThreshold := flag.Duration("slow-query-threshold", 0, "log statements at or above this duration to the slow-query log (0 = off; runtime-settable via SLOWLOG)")
 	slowLog := flag.String("slow-log", "", "slow-query log path (default <dir>/slowlog.jsonl)")
 	queryWorkers := flag.Int("query-workers", 0, "intra-query parallelism cap per statement (0 = GOMAXPROCS, 1 = serial; runtime-settable via WORKERS)")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "chain-readahead depth for block-list scans (0 = off; runtime-settable via PREFETCH)")
 	flag.Parse()
 
 	db, err := core.Open(*dir, core.Options{
@@ -37,6 +38,7 @@ func main() {
 		SlowQueryThreshold: *slowThreshold,
 		SlowLogPath:        *slowLog,
 		QueryWorkers:       *queryWorkers,
+		PrefetchDepth:      *prefetchDepth,
 	})
 	if err != nil {
 		log.Fatalf("sednad: open: %v", err)
@@ -45,6 +47,9 @@ func main() {
 		log.Printf("sednad: slow-query threshold %s", slowThreshold.String())
 	}
 	log.Printf("sednad: query workers %d", db.QueryWorkers())
+	if d := db.PrefetchDepth(); d > 0 {
+		log.Printf("sednad: prefetch depth %d", d)
+	}
 	srv, err := server.Listen(db, *addr)
 	if err != nil {
 		db.Close()

@@ -68,6 +68,35 @@ func QueryWorkers(db *sedna.DB, src string, workers int) (string, query.ExecStat
 	return sb.String(), ctx.Profile.ExecStats, nil
 }
 
+// OpenDBPrefetch reopens a database directory with an explicit default
+// chain-readahead depth. The buffer pool starts empty, so the first scan
+// after opening runs against a cold cache — the E19 measurement setup.
+func OpenDBPrefetch(dir string, reg *metrics.Registry, depth int) (*sedna.DB, error) {
+	return sedna.Open(dir, &sedna.Options{NoSync: true, BufferPages: 8192, Metrics: reg, PrefetchDepth: depth})
+}
+
+// QueryPrefetch runs a query under an explicit per-statement chain-readahead
+// depth (> 0 enables readahead regardless of the database default, < 0
+// forces it off) and returns the result data plus executor stats.
+func QueryPrefetch(db *sedna.DB, src string, depth int) (string, query.ExecStats, error) {
+	tx, err := db.Internal().BeginReadOnly()
+	if err != nil {
+		return "", query.ExecStats{}, err
+	}
+	defer tx.Rollback()
+	ctx := query.NewExecCtx(tx)
+	ctx.PrefetchDepth = depth
+	res, err := query.Execute(ctx, src)
+	if err != nil {
+		return "", query.ExecStats{}, err
+	}
+	var sb strings.Builder
+	if err := res.Serialize(&sb); err != nil {
+		return "", query.ExecStats{}, err
+	}
+	return sb.String(), ctx.Profile.ExecStats, nil
+}
+
 // SubtreeStore builds the subtree-clustered baseline store with the same
 // library corpus inside the same database (separate pages).
 func SubtreeStore(db *sedna.DB, n int) (*subtree.Store, *core.Tx, error) {

@@ -38,6 +38,10 @@
 // stripe's mutex (read or write), and eviction inspects them under the
 // write lock, so a pinned frame can never be chosen as a victim. Unpin is
 // lock-free.
+//
+// The readahead workers (prefetch.go) obey the same order: page reads happen
+// with no locks held, installs take exactly one stripe mutex, and the
+// prefetch eviction sweep never flushes (so it never touches the WAL mutex).
 package buffer
 
 import (
@@ -99,6 +103,13 @@ type Frame struct {
 	// clockIdx is the frame's position in its stripe's clock ring,
 	// maintained under the stripe mutex for O(1) removal.
 	clockIdx int
+
+	// prefetched marks a frame installed by the readahead worker that has
+	// not yet been touched by a real access. The first touch CASes it off
+	// and counts a prefetch hit; eviction or invalidation while still set
+	// counts the read as wasted. Both transitions release the frame's share
+	// of the resident-prefetch budget.
+	prefetched atomic.Bool
 }
 
 // ID returns the identity of the page held by the frame.
@@ -150,6 +161,11 @@ type bufMetrics struct {
 	stripeLockWait *metrics.Counter // ns spent blocked on contended stripe mutexes
 	clockSweeps    *metrics.Counter // clock-hand advances during eviction scans
 	pinWaits       *metrics.Counter // bounded waits entered because all frames were pinned
+
+	prefetchIssued  *metrics.Counter // pages read from disk and installed by the prefetcher
+	prefetchHits    *metrics.Counter // prefetched frames later touched by a real access
+	prefetchWasted  *metrics.Counter // prefetched frames evicted or invalidated untouched
+	prefetchDropped *metrics.Counter // hints discarded (queue full, budget, raced, stale)
 }
 
 func bindBufMetrics(reg *metrics.Registry) bufMetrics {
@@ -167,6 +183,11 @@ func bindBufMetrics(reg *metrics.Registry) bufMetrics {
 		stripeLockWait: reg.Counter("buffer.stripe_lock_wait_ns"),
 		clockSweeps:    reg.Counter("buffer.clock_sweeps"),
 		pinWaits:       reg.Counter("buffer.pin_waits"),
+
+		prefetchIssued:  reg.Counter("buffer.prefetch_issued"),
+		prefetchHits:    reg.Counter("buffer.prefetch_hits"),
+		prefetchWasted:  reg.Counter("buffer.prefetch_wasted"),
+		prefetchDropped: reg.Counter("buffer.prefetch_dropped"),
 	}
 }
 
@@ -213,6 +234,10 @@ type Manager struct {
 	walFlush    func() error    // flush the WAL; called before any page write (WAL rule)
 	activeSnaps func() []uint64 // timestamps of active snapshots, for purge
 
+	// pref is the async readahead machinery (prefetch.go): a bounded worker
+	// pool that loads hinted pages into unpinned frames ahead of the scan.
+	pref prefetcher
+
 	reg *metrics.Registry
 	met bufMetrics
 }
@@ -249,6 +274,7 @@ func NewWithMetrics(pf *pagefile.File, snap *pagefile.SnapArea, capacity int, re
 		stripeShift: shift,
 		txnPages:    make(map[uint64]map[sas.PageID]struct{}),
 	}
+	m.pref.init(capacity)
 	slotsPer := (sas.PagesPerLayer + n - 1) / n
 	base, extra := capacity/n, capacity%n
 	for i := range m.stripes {
@@ -383,6 +409,7 @@ func (m *Manager) DerefTrack(p sas.XPtr) (*Frame, bool, error) {
 		f.pin.Add(1)
 		s.mu.RUnlock()
 		m.met.hits.Inc()
+		m.notePrefetchTouch(f)
 		return f, false, nil
 	}
 	s.mu.RUnlock()
@@ -422,6 +449,7 @@ func (m *Manager) Pin(id sas.PageID) (*Frame, error) {
 		f.ref.Store(true)
 		f.pin.Add(1)
 		s.mu.RUnlock()
+		m.notePrefetchTouch(f)
 		return f, nil
 	}
 	s.mu.RUnlock()
@@ -510,6 +538,7 @@ func (m *Manager) PinNew(id sas.PageID, txn uint64) (*Frame, error) {
 func (s *stripe) load(m *Manager, id sas.PageID) (*Frame, error) {
 	if f := s.frames[id]; f != nil {
 		f.ref.Store(true)
+		m.notePrefetchTouch(f)
 		return f, nil
 	}
 	for len(s.frames) >= s.capacity {
@@ -533,6 +562,10 @@ func (s *stripe) load(m *Manager, id sas.PageID) (*Frame, error) {
 // drop removes the frame from the stripe's clock ring, frame map and slot
 // share. The caller holds the stripe write lock.
 func (s *stripe) drop(m *Manager, f *Frame) {
+	if f.prefetched.CompareAndSwap(true, false) {
+		m.met.prefetchWasted.Inc()
+		m.pref.resident.Add(-1)
+	}
 	last := len(s.clock) - 1
 	i := f.clockIdx
 	s.clock[i] = s.clock[last]
@@ -684,8 +717,101 @@ func (s *stripe) rollbackPage(m *Manager, id sas.PageID) error {
 // content invisible here) and the commit that clears dirtyBy again takes
 // the write lock after the writer's last mutation.
 func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
+	_, err := m.readSnapshot(id, snapTS, buf, false)
+	return err
+}
+
+// ReadSnapshotInstall is ReadSnapshot for scans running with chain readahead
+// enabled. A miss on the live-visible path reads a sequential window of up
+// to `window` file-adjacent pages in one batched pread: the demanded page is
+// returned and installed as a regular unpinned frame, and the over-read
+// pages are installed as prefetched frames (budget-capped, first eviction
+// victims). Scans proceed in rough allocation order, so the over-read pages
+// are overwhelmingly the scan's next reads — this is the read-around that
+// pays even single-threaded, by replacing per-page preads with one
+// sequential pread per window. Plain snapshot reads leave no residency
+// footprint; the installs also give the async chain workers a frontier to
+// peek past instead of restarting windows at the scan's position.
+func (m *Manager) ReadSnapshotInstall(id sas.PageID, snapTS uint64, buf []byte, window int) error {
+	coldLive, err := m.readSnapshot(id, snapTS, buf, true)
+	if err != nil || !coldLive {
+		return err
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window > prefetchBatchMax {
+		window = prefetchBatchMax
+	}
+	g0 := id.GlobalIndex()
+	ids := make([]sas.PageID, window)
+	bufs := make([][]byte, window)
+	for i := range ids {
+		ids[i] = sas.PageIDFromGlobal(g0 + uint64(i))
+		bufs[i] = make([]byte, sas.PageSize)
+	}
+	elig, ts0 := m.prefetchEligibility(ids[1:])
+	gen := m.pref.gen.Load()
+	if err := m.pf.ReadPages(ids, bufs); err != nil {
+		return err
+	}
+	m.met.diskReads.Inc()
+	// Re-validate the demanded bytes: the pread ran without the stripe lock,
+	// so any writer activity since the miss (PinWrite sets dirtyBy, a commit
+	// bumps pageTS, a competing install makes it resident) sends us back
+	// through the locked path instead of trusting a possibly stale read.
+	if !m.snapColdStillValid(id, snapTS) {
+		_, err := m.readSnapshot(id, snapTS, buf, false)
+		return err
+	}
+	copy(buf, bufs[0])
+	m.installSnapshotRead(id, snapTS, bufs[0])
+	for i := 1; i < window; i++ {
+		if !elig[i-1] {
+			continue
+		}
+		if m.installPrefetched(ids[i], bufs[i], gen, ts0[i-1]) {
+			m.met.prefetchIssued.Inc()
+		}
+	}
+	return nil
+}
+
+// snapColdStillValid re-checks, under the stripe read lock, that the
+// live-visible cold-miss conditions for a snapshot read still hold.
+func (m *Manager) snapColdStillValid(id sas.PageID, snapTS uint64) bool {
+	s := m.stripeFor(id.Page)
+	s.rlock(m)
+	defer s.mu.RUnlock()
+	return s.frames[id] == nil && s.dirtyBy[id] == 0 && s.pageTS[id] <= snapTS
+}
+
+// prefetchEligibility captures, per page, whether a disk read made now may
+// later be installed (not resident — which with the dirty ⟹ resident
+// invariant also means the disk copy is current) and the page's commit
+// timestamp at capture time. An install is refused unless the timestamp is
+// still unchanged, so bytes that a concurrent commit (or a flush racing the
+// pread) could have made stale never reach the pool.
+func (m *Manager) prefetchEligibility(ids []sas.PageID) ([]bool, []uint64) {
+	elig := make([]bool, len(ids))
+	ts0 := make([]uint64, len(ids))
+	for i, id := range ids {
+		s := m.stripeFor(id.Page)
+		s.rlock(m)
+		elig[i] = s.frames[id] == nil && s.dirtyBy[id] == 0
+		ts0[i] = s.pageTS[id]
+		s.mu.RUnlock()
+	}
+	return elig, ts0
+}
+
+// readSnapshot implements ReadSnapshot; coldLive reports the live-visible
+// cold-miss case. With deferDisk the disk read is left to the caller (buf is
+// untouched when coldLive is true); otherwise it happens here, under the
+// stripe read lock so it cannot race a flush of the same page.
+func (m *Manager) readSnapshot(id sas.PageID, snapTS uint64, buf []byte, deferDisk bool) (coldLive bool, err error) {
 	if len(buf) != sas.PageSize {
-		return fmt.Errorf("buffer: ReadSnapshot buffer is %d bytes", len(buf))
+		return false, fmt.Errorf("buffer: ReadSnapshot buffer is %d bytes", len(buf))
 	}
 	s := m.stripeFor(id.Page)
 	s.rlock(m)
@@ -695,26 +821,60 @@ func (m *Manager) ReadSnapshot(id sas.PageID, snapTS uint64, buf []byte) error {
 		// The live content is visible.
 		if f := s.frames[id]; f != nil {
 			f.ref.Store(true)
+			m.notePrefetchTouch(f)
 			copy(buf, f.data)
-			return nil
+			return false, nil
+		}
+		if deferDisk {
+			return true, nil
 		}
 		if err := m.pf.ReadPage(id, buf); err != nil {
-			return err
+			return false, err
 		}
 		m.met.diskReads.Inc()
-		return nil
+		return true, nil
 	}
 	for _, v := range s.chains[id] {
 		if v.ts <= snapTS {
 			copy(buf, v.data)
-			return nil
+			return false, nil
 		}
 	}
 	// No version old enough: the page did not exist at the snapshot.
 	for i := range buf {
 		buf[i] = 0
 	}
-	return nil
+	return false, nil
+}
+
+// installSnapshotRead publishes bytes a snapshot scan just read from disk as
+// a regular unpinned frame, taking ownership of data. Correctness of the
+// install is re-established under the write lock: dirtyBy == 0 and pageTS
+// <= snapTS there mean no commit has touched the page since the snapshot
+// began (any later commit timestamp is necessarily above snapTS), so data
+// still equals the live content. Room is made with the clean-only sweep —
+// like a prefetch install, a snapshot read never flushes a dirty frame to
+// get a slot.
+func (m *Manager) installSnapshotRead(id sas.PageID, snapTS uint64, data []byte) {
+	s := m.stripeFor(id.Page)
+	s.lock(m)
+	defer s.mu.Unlock()
+	if s.frames[id] != nil || s.dirtyBy[id] != 0 || s.pageTS[id] > snapTS {
+		return
+	}
+	for len(s.frames) >= s.capacity {
+		if !s.prefetchEvictOne(m) {
+			return
+		}
+	}
+	f := &Frame{id: id, data: data}
+	f.ref.Store(true)
+	f.clockIdx = len(s.clock)
+	s.clock = append(s.clock, f)
+	s.frames[id] = f
+	if e := &s.slots[int(id.Page)>>m.stripeShift]; e.frame == nil {
+		*e = slotEntry{layer: id.Layer, frame: f}
+	}
 }
 
 // purgeChain drops versions of the page that no active snapshot can read.
@@ -840,12 +1000,19 @@ func (m *Manager) DropVersions() {
 // Used by recovery before re-reading the restored data file, and by hot
 // backup tests. Panics if any frame is pinned.
 func (m *Manager) InvalidateAll() {
+	// Fence the prefetch workers first: any install that locks its stripe
+	// after this bump sees a stale generation and refuses, so no prefetched
+	// page can reappear behind the invalidation.
+	m.pref.gen.Add(1)
 	for _, s := range m.stripes {
 		s.lock(m)
 		for _, f := range s.frames {
 			if f.pin.Load() > 0 {
 				s.mu.Unlock()
 				panic("buffer: InvalidateAll with pinned frames")
+			}
+			if f.prefetched.Load() {
+				m.met.prefetchWasted.Inc()
 			}
 		}
 		s.frames = make(map[sas.PageID]*Frame)
@@ -862,6 +1029,7 @@ func (m *Manager) InvalidateAll() {
 	m.txnPages = make(map[uint64]map[sas.PageID]struct{})
 	m.txnMu.Unlock()
 	m.met.versionsLive.Set(0)
+	m.pref.resident.Store(0)
 }
 
 // DirtyCount returns the number of pages whose live content differs from

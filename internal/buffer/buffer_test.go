@@ -20,7 +20,9 @@ func newTestManager(t *testing.T, capacity int) (*Manager, *pagefile.File, *page
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { pf.Close(); snap.Close() })
-	return New(pf, snap, capacity), pf, snap
+	m := New(pf, snap, capacity)
+	t.Cleanup(m.StopPrefetch) // LIFO: workers stop before the files close
+	return m, pf, snap
 }
 
 func TestDerefFastPathAfterFault(t *testing.T) {

@@ -1,0 +1,396 @@
+package buffer
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sedna/internal/metrics"
+	"sedna/internal/pagefile"
+	"sedna/internal/sas"
+)
+
+// writeChain allocates n pages forming a nextBlock-style chain: each page
+// stores its successor's global index at offset 8 (0 = end) plus a payload
+// byte, using the test's own layout — the prefetcher is layout-agnostic and
+// takes the decoder as a callback.
+func writeChain(t *testing.T, pf *pagefile.File, n int) []sas.PageID {
+	t.Helper()
+	ids := make([]sas.PageID, n)
+	for i := range ids {
+		ids[i] = pf.Alloc()
+	}
+	buf := make([]byte, sas.PageSize)
+	for i, id := range ids {
+		for j := range buf {
+			buf[j] = byte(i + 1)
+		}
+		var next uint64
+		if i+1 < n {
+			next = ids[i+1].GlobalIndex()
+		}
+		binary.LittleEndian.PutUint64(buf[8:], next)
+		if err := pf.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ids
+}
+
+func chainDecode(page []byte) (sas.PageID, bool) {
+	g := binary.LittleEndian.Uint64(page[8:])
+	if g == 0 {
+		return sas.PageID{}, false
+	}
+	return sas.PageIDFromGlobal(g), true
+}
+
+// waitFor polls cond for up to two seconds — prefetching is asynchronous and
+// best-effort, so tests wait for the effect rather than the mechanism.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPrefetchChainLoadsAheadAndCountsHits(t *testing.T) {
+	m, pf, _ := newTestManager(t, 256)
+	ids := writeChain(t, pf, 6)
+
+	m.PrefetchChain(ids[0], len(ids), chainDecode)
+	waitFor(t, "chain resident", func() bool {
+		return m.PrefetchResident() >= len(ids)
+	})
+	if got := m.met.prefetchIssued.Value(); got < uint64(len(ids)) {
+		t.Fatalf("prefetch_issued = %d, want >= %d", got, len(ids))
+	}
+
+	// A real scan over the chain should hit every prefetched frame and
+	// consume the budget shares.
+	reads := m.met.diskReads.Value()
+	for i, id := range ids {
+		f, err := m.Deref(id.Ptr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i+1) {
+			t.Fatalf("page %d payload = %#x", i, f.Data()[0])
+		}
+		m.Unpin(f)
+	}
+	if got := m.met.diskReads.Value(); got != reads {
+		t.Fatalf("scan did %d synchronous disk reads, want 0 (all prefetched)", got-reads)
+	}
+	if got := m.met.prefetchHits.Value(); got != uint64(len(ids)) {
+		t.Fatalf("prefetch_hits = %d, want %d", got, len(ids))
+	}
+	if got := m.PrefetchResident(); got != 0 {
+		t.Fatalf("resident after full scan = %d, want 0", got)
+	}
+}
+
+func TestPrefetchBatchesAdjacentPages(t *testing.T) {
+	// The pagefile must share the manager's registry for the batch counters
+	// to be visible here.
+	reg := metrics.NewRegistry()
+	dir := t.TempDir()
+	pf, err := pagefile.Open(filepath.Join(dir, "data.sdb"), pagefile.Options{NoSync: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := pagefile.OpenSnapArea(filepath.Join(dir, "data.snap"), pagefile.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pf.Close(); snap.Close() })
+	m := NewWithMetrics(pf, snap, 256, reg)
+	t.Cleanup(m.StopPrefetch)
+
+	ids := writeChain(t, pf, 8)
+	before := m.reg.Counter("pagefile.batch_pages").Value()
+	m.Prefetch(ids)
+	waitFor(t, "batch resident", func() bool {
+		return m.PrefetchResident() >= len(ids)
+	})
+	if got := m.reg.Counter("pagefile.batch_pages").Value() - before; got == 0 {
+		t.Fatal("prefetcher did not use the batched read path")
+	}
+}
+
+func TestPrefetchDepthZeroIsNoop(t *testing.T) {
+	m, pf, _ := newTestManager(t, 64)
+	ids := writeChain(t, pf, 3)
+	m.PrefetchChain(ids[0], 0, chainDecode)
+	time.Sleep(10 * time.Millisecond)
+	if got := m.met.prefetchIssued.Value() + m.met.prefetchDropped.Value(); got != 0 {
+		t.Fatalf("depth 0 produced prefetch activity: issued+dropped = %d", got)
+	}
+	if m.PrefetchResident() != 0 {
+		t.Fatalf("depth 0 left %d resident pages", m.PrefetchResident())
+	}
+}
+
+func TestPrefetchBudgetIsHardBound(t *testing.T) {
+	m, pf, _ := newTestManager(t, 64) // budget = 8
+	budget := m.PrefetchBudget()
+	ids := writeChain(t, pf, 4*budget)
+	m.Prefetch(ids)
+	waitFor(t, "budget consumed", func() bool {
+		return m.PrefetchResident() >= budget || m.met.prefetchDropped.Value() > 0
+	})
+	for i := 0; i < 100; i++ {
+		if got := m.PrefetchResident(); got > budget {
+			t.Fatalf("resident = %d exceeds budget %d", got, budget)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	if m.met.prefetchDropped.Value() == 0 {
+		t.Fatal("flooding 4x the budget dropped nothing")
+	}
+}
+
+func TestPrefetchAfterStopIsIgnored(t *testing.T) {
+	m, pf, _ := newTestManager(t, 64)
+	ids := writeChain(t, pf, 3)
+	m.StopPrefetch()
+	m.Prefetch(ids)
+	time.Sleep(5 * time.Millisecond)
+	if m.PrefetchResident() != 0 {
+		t.Fatalf("prefetch after stop installed %d pages", m.PrefetchResident())
+	}
+	m.StopPrefetch() // idempotent
+}
+
+func TestInvalidateAllDiscardsPrefetchedFrames(t *testing.T) {
+	m, pf, _ := newTestManager(t, 256)
+	ids := writeChain(t, pf, 5)
+	m.Prefetch(ids)
+	waitFor(t, "resident", func() bool { return m.PrefetchResident() >= len(ids) })
+	m.InvalidateAll()
+	if got := m.PrefetchResident(); got != 0 {
+		t.Fatalf("resident after InvalidateAll = %d", got)
+	}
+	if got := m.met.prefetchWasted.Value(); got < uint64(len(ids)) {
+		t.Fatalf("prefetch_wasted = %d, want >= %d", got, len(ids))
+	}
+}
+
+// TestPrefetchStressTinyPool floods the readahead machinery against a pool
+// smaller than the prefetch budget while scans, writers and pins compete for
+// frames. Run under -race it checks, throughout and afterwards:
+//
+//   - a pinned frame is never evicted (pointer identity survives the storm);
+//   - the resident-prefetch count never exceeds the hard budget;
+//   - no deadlock against the documented stripe→WAL→pagefile lock order
+//     (writers force dirty frames and evictions while hints install);
+//   - committed data survives byte-exact.
+func TestPrefetchStressTinyPool(t *testing.T) {
+	m, pf, _ := newTestManager(t, 3) // collapses to one stripe; budget floor 4 > capacity
+	m.SetWALFlush(func() error { return nil })
+	if m.PrefetchBudget() <= m.Capacity() {
+		t.Fatalf("stress wants budget (%d) > capacity (%d)", m.PrefetchBudget(), m.Capacity())
+	}
+	chain := writeChain(t, pf, 32)
+	scanIDs := chain[:16]
+	writeID := pf.Alloc()
+	pinID := pf.Alloc()
+
+	// Hold one frame pinned across the whole run.
+	pinned, err := m.Pin(pinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(pinned.Data(), []byte("sentinel"))
+
+	const iters = 400
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	stop := make(chan struct{})
+
+	// Budget watchdog (own WaitGroup: it runs until the workers finish).
+	var watchdog sync.WaitGroup
+	watchdog.Add(1)
+	go func() {
+		defer watchdog.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := m.PrefetchResident(); got > m.PrefetchBudget() {
+				errc <- errBudget(got)
+				return
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	}()
+
+	// Hinters flood chain prefetches.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < iters; i++ {
+				m.PrefetchChain(chain[rng.Intn(len(chain))], 8, chainDecode)
+			}
+		}(int64(w))
+	}
+
+	// Scanners deref chain pages (competing with installs for the 3 frames).
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(100 + seed))
+			for i := 0; i < iters; i++ {
+				id := scanIDs[rng.Intn(len(scanIDs))]
+				f, err := m.Pin(id)
+				if err != nil {
+					continue // ErrBusy under extreme pin pressure is legal
+				}
+				if f.Data()[0] == 0 {
+					errc <- errZero(id)
+					m.Unpin(f)
+					return
+				}
+				m.Unpin(f)
+			}
+		}(int64(w))
+	}
+
+	// A writer keeps one page dirty so installs must skip it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters/4; i++ {
+			f, err := m.PinWrite(writeID, 1)
+			if err != nil {
+				continue
+			}
+			f.Data()[0] = byte(i + 1)
+			m.Unpin(f)
+			m.CommitTxn(1, uint64(i+1))
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	watchdog.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// The pinned frame must have survived untouched and unevicted.
+	again, err := m.Pin(pinID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pinned {
+		t.Fatal("pinned frame was evicted and reloaded during the stress run")
+	}
+	if string(again.Data()[:8]) != "sentinel" {
+		t.Fatalf("pinned frame content clobbered: %q", again.Data()[:8])
+	}
+	m.Unpin(again)
+	m.Unpin(pinned)
+	if got := m.PrefetchResident(); got > m.PrefetchBudget() {
+		t.Fatalf("final resident %d > budget %d", got, m.PrefetchBudget())
+	}
+}
+
+type errBudget int
+
+func (e errBudget) Error() string { return "resident prefetch pages exceeded budget" }
+
+type errZero sas.PageID
+
+func (e errZero) Error() string { return "scanned page read as zeros" }
+
+// TestReadSnapshotInstallWindow covers the scan-side sequential read-around:
+// a cold snapshot miss with a window reads the demanded page plus its
+// file-adjacent successors in one batched pread, installs the extras as
+// prefetched frames, and the scan's subsequent reads over them are served
+// resident — no further disk reads — and counted as prefetch hits. A plain
+// ReadSnapshot (the depth-0 path) must leave no residency footprint at all.
+func TestReadSnapshotInstallWindow(t *testing.T) {
+	m, pf, _ := newTestManager(t, 256)
+	ids := writeChain(t, pf, 8)
+	buf := make([]byte, sas.PageSize)
+
+	// Depth-0 path first: footprint-free.
+	if err := m.ReadSnapshot(ids[0], 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if m.PrefetchResident() != 0 || m.met.prefetchIssued.Value() != 0 {
+		t.Fatalf("plain ReadSnapshot left a footprint: resident=%d issued=%d",
+			m.PrefetchResident(), m.met.prefetchIssued.Value())
+	}
+
+	if err := m.ReadSnapshotInstall(ids[0], 1, buf, len(ids)); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Fatalf("demanded page payload = %#x, want 1", buf[0])
+	}
+	if got := int(m.met.prefetchIssued.Value()); got != len(ids)-1 {
+		t.Fatalf("prefetch_issued = %d, want %d extras", got, len(ids)-1)
+	}
+	reads := m.met.diskReads.Value()
+	for i, id := range ids[1:] {
+		if err := m.ReadSnapshot(id, 1, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+2) {
+			t.Fatalf("page %d payload = %#x", i+1, buf[0])
+		}
+	}
+	if got := m.met.diskReads.Value(); got != reads {
+		t.Fatalf("scan over installed window did %d disk reads, want 0", got-reads)
+	}
+	if got := int(m.met.prefetchHits.Value()); got != len(ids)-1 {
+		t.Fatalf("prefetch_hits = %d, want %d", got, len(ids)-1)
+	}
+}
+
+// TestReadSnapshotInstallRefusesStaleExtras pins the install-safety predicate:
+// an adjacent page that a transaction commits between the eligibility capture
+// and the install must not be published from the read-around bytes. Here the
+// adjacent page is already dirty (uncommitted) at read time, so it is
+// ineligible from the start and the window must skip it.
+func TestReadSnapshotInstallRefusesStaleExtras(t *testing.T) {
+	m, pf, _ := newTestManager(t, 256)
+	ids := writeChain(t, pf, 2)
+
+	// Make ids[1] dirty under an uncommitted writer.
+	f, err := m.PinWrite(ids[1], 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data()[0] = 0xEE
+	m.Unpin(f)
+	buf := make([]byte, sas.PageSize)
+	if err := m.ReadSnapshotInstall(ids[0], 1, buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The dirty page keeps its in-pool content; nothing was installed over it.
+	g, err := m.Deref(ids[1].Ptr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Unpin(g)
+	if g.Data()[0] != 0xEE {
+		t.Fatalf("dirty page content = %#x, want 0xEE (read-around must not overwrite)", g.Data()[0])
+	}
+}

@@ -53,6 +53,11 @@ type Options struct {
 	// fan-out). 0 means GOMAXPROCS; 1 disables parallel execution. Also
 	// settable at runtime via Database.SetQueryWorkers.
 	QueryWorkers int
+	// PrefetchDepth is the default chain-readahead depth for block-list
+	// scans: how many nextBlock links ahead of a scan the buffer manager
+	// may load asynchronously. 0 (the default) disables readahead. Also
+	// settable at runtime via Database.SetPrefetchDepth.
+	PrefetchDepth int
 }
 
 // Database is an open Sedna database: one directory holding the data file,
@@ -79,6 +84,10 @@ type Database struct {
 	// queryWorkers is the intra-query parallelism cap (0 = GOMAXPROCS),
 	// read by every new execution context and settable at runtime.
 	queryWorkers atomic.Int64
+
+	// prefetchDepth is the default chain-readahead depth (0 = off), read
+	// at the start of every statement and settable at runtime.
+	prefetchDepth atomic.Int64
 
 	// quiesce is held shared by every statement-executing transaction and
 	// exclusively by checkpoint/backup/close.
@@ -136,6 +145,7 @@ func Open(dir string, opts Options) (*Database, error) {
 	db.txm = txn.NewManagerWithMetrics(db.buf, log, pf, db.locks, reg)
 	db.txm.LockTimeout = opts.LockTimeout
 	db.SetQueryWorkers(opts.QueryWorkers)
+	db.SetPrefetchDepth(opts.PrefetchDepth)
 
 	db.tracer = trace.New(reg)
 	db.tracer.SetEnabled(opts.TraceEnabled)
@@ -155,6 +165,7 @@ func Open(dir string, opts Options) (*Database, error) {
 }
 
 func (db *Database) closeFiles() {
+	db.buf.StopPrefetch()
 	if db.tracer != nil {
 		db.tracer.Close()
 	}
@@ -221,6 +232,24 @@ func (db *Database) QueryWorkers() int {
 	return n
 }
 
+// SetPrefetchDepth sets the default chain-readahead depth at runtime: how
+// many pages ahead of a block-list scan the buffer manager may load —
+// synchronously via sequential read-around on cold snapshot misses, and
+// asynchronously by following nextBlock chains. n ≤ 0 disables readahead
+// (scans behave exactly as without the prefetcher). New transactions start
+// at this depth; an execution context's explicit PrefetchDepth overrides it
+// per statement.
+func (db *Database) SetPrefetchDepth(n int) {
+	if n < 0 {
+		n = 0
+	}
+	db.prefetchDepth.Store(int64(n))
+	db.txm.SetDefaultPrefetchDepth(n)
+}
+
+// PrefetchDepth returns the default chain-readahead depth (0 = off).
+func (db *Database) PrefetchDepth() int { return int(db.prefetchDepth.Load()) }
+
 // Buffer exposes the buffer manager (benchmarks and tools).
 func (db *Database) Buffer() *buffer.Manager { return db.buf }
 
@@ -265,6 +294,9 @@ func (db *Database) Close() error {
 		return nil
 	}
 	db.mu.Unlock()
+	// Stop the readahead workers before checkpointing: no prefetch I/O may
+	// overlap the shutdown writes or outlive the files.
+	db.buf.StopPrefetch()
 	if err := db.checkpointLocked(); err != nil {
 		db.closeFiles()
 		return err

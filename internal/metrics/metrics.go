@@ -373,6 +373,17 @@ func (s Snapshot) WriteText(w io.Writer) error {
 		lines = append(lines, fmt.Sprintf("%s count=%d sum_ns=%d p50_ns=%d p95_ns=%d p99_ns=%d",
 			name, v.Count, v.SumNs, v.P50Ns, v.P95Ns, v.P99Ns))
 	}
+	// Derived ratios, computed at render time so every consumer of the text
+	// form (METRICS verb, /metrics endpoint) sees them without bookkeeping.
+	if hits, ok := s.Counters["buffer.hits"]; ok {
+		if total := hits + s.Counters["buffer.faults"]; total > 0 {
+			lines = append(lines, fmt.Sprintf("buffer.hit_ratio %.4f", float64(hits)/float64(total)))
+		}
+	}
+	if issued, ok := s.Counters["buffer.prefetch_issued"]; ok && issued > 0 {
+		lines = append(lines, fmt.Sprintf("buffer.prefetch_hit_ratio %.4f",
+			float64(s.Counters["buffer.prefetch_hits"])/float64(issued)))
+	}
 	sort.Strings(lines)
 	for _, l := range lines {
 		if _, err := fmt.Fprintln(w, l); err != nil {

@@ -223,3 +223,32 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		h.ObserveNs(int64(i & 0xfffff))
 	}
 }
+
+// TestDerivedRatios checks the ratio lines the text form derives at render
+// time: buffer.hit_ratio from hits/faults and buffer.prefetch_hit_ratio
+// from the readahead counters, present only when their inputs are.
+func TestDerivedRatios(t *testing.T) {
+	r := NewRegistry()
+	var sb strings.Builder
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "hit_ratio") {
+		t.Fatalf("empty registry rendered a ratio line:\n%s", sb.String())
+	}
+	r.Counter("buffer.hits").Add(3)
+	r.Counter("buffer.faults").Add(1)
+	r.Counter("buffer.prefetch_issued").Add(4)
+	r.Counter("buffer.prefetch_hits").Add(1)
+	sb.Reset()
+	if err := r.Snapshot().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "buffer.hit_ratio 0.7500") {
+		t.Fatalf("missing buffer.hit_ratio 0.7500 in:\n%s", out)
+	}
+	if !strings.Contains(out, "buffer.prefetch_hit_ratio 0.2500") {
+		t.Fatalf("missing buffer.prefetch_hit_ratio 0.2500 in:\n%s", out)
+	}
+}

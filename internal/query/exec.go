@@ -37,6 +37,13 @@ type ExecCtx struct {
 	// statement; the worker pool is built on first use.
 	Workers int
 
+	// PrefetchDepth is the chain-readahead depth for block-list scans: how
+	// many nextBlock links ahead of the scan the buffer manager may load.
+	// 0 resolves the database's -prefetch-depth setting (default off), a
+	// negative value forces readahead off for this context. At effective
+	// depth 0 the read path is byte-identical to a build without readahead.
+	PrefetchDepth int
+
 	// updateStmt is set while executing an update statement so that
 	// document resolution takes exclusive locks up front, avoiding the
 	// classic shared→exclusive upgrade deadlock between two updaters.
@@ -134,6 +141,7 @@ func (ctx *ExecCtx) fork(span *trace.Span) *ExecCtx {
 		NoRewrite:      ctx.NoRewrite,
 		NoVirtualCtors: ctx.NoVirtualCtors,
 		Workers:        ctx.Workers,
+		PrefetchDepth:  ctx.PrefetchDepth,
 		updateStmt:     ctx.updateStmt,
 		funcs:          ctx.funcs,
 		globalEnv:      ctx.globalEnv,
@@ -298,10 +306,17 @@ func ExecuteStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
 	ctx.Profile.ExecNs = 0
 	ctx.Profile.PagesTouched = 0
 	ctx.Profile.NodesYielded = 0
+	depth := ctx.resolvePrefetchDepth()
+	ctx.Tx.SetPrefetchDepth(depth)
+	hintsBefore := ctx.Tx.PrefetchHints()
 	pagesBefore := ctx.Tx.PagesTouched()
 	start := time.Now()
 	res, err := executeStatement(ctx, st)
 	ctx.Profile.PagesTouched = ctx.Tx.PagesTouched() - pagesBefore
+	if depth > 0 && ctx.span != nil {
+		ctx.span.SetInt("prefetch_depth", int64(depth))
+		ctx.span.SetInt("prefetch_hints", int64(ctx.Tx.PrefetchHints()-hintsBefore))
+	}
 	if res != nil {
 		if len(res.Items) > 0 {
 			ctx.Profile.NodesYielded = len(res.Items)
@@ -322,6 +337,20 @@ func ExecuteStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
 		ctx.FinishTrace()
 	}
 	return res, err
+}
+
+// resolvePrefetchDepth resolves the effective chain-readahead depth for a
+// statement: the context's explicit setting, else the database default;
+// never negative.
+func (ctx *ExecCtx) resolvePrefetchDepth() int {
+	d := ctx.PrefetchDepth
+	if d == 0 && ctx.Tx != nil && ctx.Tx.DB() != nil {
+		d = ctx.Tx.DB().PrefetchDepth()
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 func executeStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
@@ -419,7 +448,19 @@ func execProfile(ctx *ExecCtx, inner *Statement) (*Result, error) {
 	ctx.trace, ctx.span = nil, nil
 	tr := ctx.tracer.StartForced(inner.Source)
 	ctx.adoptTrace(tr)
+	// PROFILE runs the statement directly, so it applies (and annotates) the
+	// readahead depth itself, as ExecuteStatement does for plain statements.
+	depth := ctx.resolvePrefetchDepth()
+	var hintsBefore uint64
+	if ctx.Tx != nil {
+		ctx.Tx.SetPrefetchDepth(depth)
+		hintsBefore = ctx.Tx.PrefetchHints()
+	}
 	res, err := executeStatement(ctx, inner)
+	if depth > 0 && ctx.span != nil && ctx.Tx != nil {
+		ctx.span.SetInt("prefetch_depth", int64(depth))
+		ctx.span.SetInt("prefetch_hints", int64(ctx.Tx.PrefetchHints()-hintsBefore))
+	}
 	// Close out the forced trace and restore the ambient one (if any).
 	if ctx.Tx != nil {
 		ctx.Tx.SetTraceSpan(prevSpan)

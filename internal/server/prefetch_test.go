@@ -1,0 +1,51 @@
+package server_test
+
+import (
+	"testing"
+
+	"sedna/client"
+)
+
+// TestPrefetchVerb smoke-tests the MsgPrefetch wire verb end to end: the
+// depth defaults to 0 (readahead off), a set round-trips and reports the
+// new effective value, statements keep returning correct results at the
+// new depth, and a negative set clamps to 0.
+func TestPrefetchVerb(t *testing.T) {
+	srv := startServer(t)
+	c, err := client.Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	d, err := c.PrefetchDepth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("default prefetch depth = %d, want 0", d)
+	}
+	if d, err = c.SetPrefetchDepth(8); err != nil || d != 8 {
+		t.Fatalf("SetPrefetchDepth(8) = %d, %v", d, err)
+	}
+	if d, err = c.PrefetchDepth(); err != nil || d != 8 {
+		t.Fatalf("prefetch depth after set = %d, %v", d, err)
+	}
+	// Statements keep flowing — and reading correctly — with readahead on.
+	if _, err := c.Execute(`CREATE DOCUMENT "p"`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(`UPDATE insert <r><x>1</x><x>2</x></r> into doc("p")`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(`count(doc("p")//x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data != "2" {
+		t.Fatalf("count = %q", res.Data)
+	}
+	if d, err = c.SetPrefetchDepth(-5); err != nil || d != 0 {
+		t.Fatalf("SetPrefetchDepth(-5) = %d, %v (want clamp to 0)", d, err)
+	}
+}

@@ -25,6 +25,7 @@ const (
 	MsgMetrics  = 7
 	MsgSlowLog  = 8
 	MsgWorkers  = 9
+	MsgPrefetch = 10
 )
 
 // Message types (server → client).
@@ -59,6 +60,12 @@ type Request struct {
 	// response always reports the effective worker budget.
 	Workers    int  `json:"workers,omitempty"`
 	SetWorkers bool `json:"set_workers,omitempty"`
+
+	// MsgPrefetch: when SetPrefetch is set, the server updates the default
+	// chain-readahead depth to Prefetch (≤ 0 disables readahead); the
+	// response always reports the effective depth.
+	Prefetch    int  `json:"prefetch,omitempty"`
+	SetPrefetch bool `json:"set_prefetch,omitempty"`
 }
 
 // Response is a server message payload.

@@ -251,6 +251,20 @@ func (g *Governor) workers(req *Request) (*Response, error) {
 	}, nil
 }
 
+// prefetch serves a MsgPrefetch request: optionally retune the default
+// chain-readahead depth (the runtime face of sednad -prefetch-depth), then
+// report the effective depth.
+func (g *Governor) prefetch(req *Request) (*Response, error) {
+	if req.SetPrefetch {
+		g.db.SetPrefetchDepth(req.Prefetch)
+	}
+	n := g.db.PrefetchDepth()
+	return &Response{
+		Data:    fmt.Sprint(n),
+		Message: fmt.Sprintf("prefetch depth=%d", n),
+	}, nil
+}
+
 // Server accepts client connections.
 type Server struct {
 	gov *Governor
@@ -368,6 +382,8 @@ func (s *Server) handle(rawConn net.Conn) {
 			resp, rerr = s.gov.slowLog(&req)
 		case MsgWorkers:
 			resp, rerr = s.gov.workers(&req)
+		case MsgPrefetch:
+			resp, rerr = s.gov.prefetch(&req)
 		case MsgQuit:
 			WriteMsg(conn, MsgOK, &Response{Message: "bye"})
 			return
@@ -382,7 +398,7 @@ func (s *Server) handle(rawConn net.Conn) {
 			continue
 		}
 		out := byte(MsgOK)
-		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog || typ == MsgWorkers {
+		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog || typ == MsgWorkers || typ == MsgPrefetch {
 			out = MsgResult
 		}
 		if err := WriteMsg(conn, out, resp); err != nil {

@@ -149,6 +149,9 @@ func NextInList(r Reader, d *Desc) (Desc, bool, error) {
 			return Desc{}, false, nil
 		}
 		block = h.Next
+		// Crossing a block boundary: hint the chain ahead so the pages the
+		// scan will reach next are loading while it drains this block.
+		hintChain(r, block)
 		nh, err := readNodeHeader(r, block)
 		if err != nil {
 			return Desc{}, false, err
@@ -167,6 +170,7 @@ func NextInList(r Reader, d *Desc) (Desc, bool, error) {
 // list in document order; ok=false when the list is empty.
 func FirstOfSchema(r Reader, sn *schema.Node) (Desc, bool, error) {
 	block := sn.FirstBlock
+	hintChain(r, block)
 	for !block.IsNil() {
 		h, err := readNodeHeader(r, block)
 		if err != nil {
@@ -233,6 +237,7 @@ func ScanSchema(r Reader, sn *schema.Node, visit func(Desc) (bool, error)) error
 // partial order of descriptors across blocks (§4.1) makes the skip sound.
 // This is the primitive behind schema-driven descendant-axis evaluation.
 func FirstInRange(r Reader, sn *schema.Node, anc nid.Label) (Desc, bool, error) {
+	hintChain(r, sn.FirstBlock)
 	for block := sn.FirstBlock; !block.IsNil(); {
 		h, err := readNodeHeader(r, block)
 		if err != nil {
@@ -266,6 +271,7 @@ func FirstInRange(r Reader, sn *schema.Node, anc nid.Label) (Desc, bool, error) 
 			}
 		}
 		block = h.Next
+		hintChain(r, block)
 	}
 	return Desc{}, false, nil
 }
@@ -274,6 +280,48 @@ func FirstInRange(r Reader, sn *schema.Node, anc nid.Label) (Desc, bool, error) 
 // node-block page; recovery uses it to recompute schema counters.
 func BlockCountNext(page []byte) (count int, next sas.XPtr) {
 	return int(getU16(page, nbCount)), getPtr(page, nbNext)
+}
+
+// PageChainNext decodes the next-block pointer from raw page bytes for any
+// block kind, reporting ok=false at chain end or on an unrecognized page.
+// It is the chain decoder handed to the buffer manager's readahead workers
+// (which are layout-agnostic): a worker that has just loaded a block uses it
+// to discover the following one without any storage-layer call.
+func PageChainNext(page []byte) (sas.PageID, bool) {
+	var next sas.XPtr
+	switch page[0] {
+	case blockKindNode:
+		next = getPtr(page, nbNext)
+	case blockKindText:
+		next = getPtr(page, tbNext)
+	case blockKindIndir:
+		next = getPtr(page, ibNext)
+	default:
+		return sas.PageID{}, false
+	}
+	if next.IsNil() {
+		return sas.PageID{}, false
+	}
+	return sas.PageIDOf(next), true
+}
+
+// Prefetcher is optionally implemented by a Reader whose buffer pool does
+// chain readahead. The block-list iterators type-assert it and emit a hint
+// whenever the scan crosses (or is about to start walking) a block chain;
+// implementations must be non-blocking, fire-and-forget.
+type Prefetcher interface {
+	PrefetchFrom(block sas.XPtr)
+}
+
+// hintChain emits a readahead hint for the chain starting at block if the
+// reader supports it.
+func hintChain(r Reader, block sas.XPtr) {
+	if block.IsNil() {
+		return
+	}
+	if p, ok := r.(Prefetcher); ok {
+		p.PrefetchFrom(block)
+	}
 }
 
 // ChainNext returns the next-block pointer of any block kind (node, text or

@@ -27,4 +27,7 @@ echo "== go test -race (concurrency-sensitive packages) =="
 go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/wal \
     ./internal/txn ./internal/core ./internal/lock ./internal/server ./internal/query
 
+echo "== bench smoke (compile + one iteration of every benchmark) =="
+go test -bench=. -benchtime=1x -run '^$' .
+
 echo "check.sh: all green"

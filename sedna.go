@@ -66,6 +66,11 @@ type Options struct {
 	// range-scan fan-out and FLWOR for-clause fan-out use at most this many
 	// goroutines (0 = GOMAXPROCS, 1 = serial).
 	QueryWorkers int
+	// PrefetchDepth is the default chain-readahead depth for block-list
+	// scans: how many nextBlock links ahead of a scan the buffer manager
+	// may load asynchronously (0 = off). Runtime-settable per statement via
+	// query.ExecCtx.PrefetchDepth and server-side via the PREFETCH verb.
+	PrefetchDepth int
 }
 
 // DB is an open database.
@@ -90,6 +95,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		SlowLogPath:        o.SlowLogPath,
 		Metrics:            o.Metrics,
 		QueryWorkers:       o.QueryWorkers,
+		PrefetchDepth:      o.PrefetchDepth,
 	})
 	if err != nil {
 		return nil, err
