@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"sedna/internal/repl"
 	"sedna/internal/server"
 	"sedna/internal/trace"
 )
@@ -157,6 +158,30 @@ func (c *Conn) SetPrefetchDepth(n int) (int, error) {
 		return 0, fmt.Errorf("client: prefetch: %w", err)
 	}
 	return eff, nil
+}
+
+// ReplStatus fetches the server's replication topology: its role, every
+// connected downstream replica with its lag in log bytes, and — on a
+// replica — the state of its own stream from the primary.
+func (c *Conn) ReplStatus() (*repl.Topology, error) {
+	resp, err := c.roundTrip(server.MsgReplStatus, server.Request{})
+	if err != nil {
+		return nil, err
+	}
+	var t repl.Topology
+	if err := json.Unmarshal([]byte(resp.Data), &t); err != nil {
+		return nil, fmt.Errorf("client: replstatus: %w", err)
+	}
+	return &t, nil
+}
+
+// Promote detaches a replica server from its primary and makes it writable.
+func (c *Conn) Promote() (string, error) {
+	resp, err := c.roundTrip(server.MsgPromote, server.Request{})
+	if err != nil {
+		return "", err
+	}
+	return resp.Message, nil
 }
 
 // Begin starts an explicit transaction on the session.

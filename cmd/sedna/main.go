@@ -15,6 +15,8 @@
 //	\slowthreshold DUR   set the slow-query threshold (e.g. 50ms; 0 = off)
 //	\workers [N]  show or set the intra-query parallelism cap (0 = default)
 //	\prefetch [D] show or set the chain-readahead depth (0 = off)
+//	\replicas     show the replication topology (role, replicas, lag)
+//	\promote      promote a replica server to a writable primary
 //	\q            quit
 //
 // EXPLAIN <stmt> and PROFILE <stmt> are regular statements — end them with
@@ -203,6 +205,34 @@ func command(c *client.Conn, cmd string) bool {
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		} else {
 			fmt.Printf("prefetch depth: %d\n", n)
+		}
+	case `\replicas`:
+		t, err := c.ReplStatus()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		fmt.Printf("role: %s\n", t.Role)
+		if t.Self != nil {
+			fmt.Printf("upstream %s  state=%s  lag=%d LSNs  applied=%d\n",
+				t.Self.Primary, t.Self.State, t.Self.LagLSNs, t.Self.CommitLSN)
+			if t.Self.LastError != "" {
+				fmt.Printf("last error: %s\n", t.Self.LastError)
+			}
+		}
+		if len(t.Replicas) == 0 {
+			fmt.Println("no replicas connected")
+		}
+		for _, r := range t.Replicas {
+			fmt.Printf("replica %s  state=%s  lag=%d LSNs  acked=%d  connected=%ds\n",
+				r.Addr, r.State, r.LagLSNs, r.AckedLSN, r.Seconds)
+		}
+	case `\promote`:
+		msg, err := c.Promote()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Println(msg)
 		}
 	case `\load`:
 		if len(fields) != 3 {

@@ -15,6 +15,7 @@ import (
 	"syscall"
 
 	"sedna/internal/core"
+	"sedna/internal/repl"
 	"sedna/internal/server"
 )
 
@@ -29,9 +30,10 @@ func main() {
 	slowLog := flag.String("slow-log", "", "slow-query log path (default <dir>/slowlog.jsonl)")
 	queryWorkers := flag.Int("query-workers", 0, "intra-query parallelism cap per statement (0 = GOMAXPROCS, 1 = serial; runtime-settable via WORKERS)")
 	prefetchDepth := flag.Int("prefetch-depth", 0, "chain-readahead depth for block-list scans (0 = off; runtime-settable via PREFETCH)")
+	replicaOf := flag.String("replica-of", "", "run as a read replica of the primary sednad at this host:port (an empty directory seeds itself over the wire; PROMOTE makes the node writable)")
 	flag.Parse()
 
-	db, err := core.Open(*dir, core.Options{
+	opts := core.Options{
 		BufferPages:        *bufPages,
 		NoSync:             *noSync,
 		TraceEnabled:       *traceOn,
@@ -39,9 +41,23 @@ func main() {
 		SlowLogPath:        *slowLog,
 		QueryWorkers:       *queryWorkers,
 		PrefetchDepth:      *prefetchDepth,
-	})
-	if err != nil {
-		log.Fatalf("sednad: open: %v", err)
+	}
+	var db *core.Database
+	var rep *repl.Replica
+	if *replicaOf != "" {
+		var err error
+		rep, err = repl.Start(*dir, *replicaOf, opts)
+		if err != nil {
+			log.Fatalf("sednad: start replica: %v", err)
+		}
+		db = rep.DB()
+		log.Printf("sednad: replicating from %s", *replicaOf)
+	} else {
+		var err error
+		db, err = core.Open(*dir, opts)
+		if err != nil {
+			log.Fatalf("sednad: open: %v", err)
+		}
 	}
 	if *slowThreshold > 0 {
 		log.Printf("sednad: slow-query threshold %s", slowThreshold.String())
@@ -54,6 +70,9 @@ func main() {
 	if err != nil {
 		db.Close()
 		log.Fatalf("sednad: listen: %v", err)
+	}
+	if rep != nil {
+		srv.Governor().SetReplica(rep)
 	}
 	log.Printf("sednad: serving database %q on %s", *dir, srv.Addr())
 	var ms *server.MetricsServer
@@ -78,6 +97,9 @@ func main() {
 	}
 	if err := srv.Close(); err != nil {
 		log.Printf("sednad: close server: %v", err)
+	}
+	if rep != nil {
+		rep.Stop()
 	}
 	if err := db.Close(); err != nil {
 		log.Printf("sednad: close database: %v", err)

@@ -29,6 +29,7 @@ import (
 type BackupManifest struct {
 	MetaGen      uint64          // catalog generation of the base backup
 	WalSize      uint64          // log size at base-backup time
+	DurableLSN   uint64          // exact durable LSN the backup's log ends at
 	Incrementals []BackupSegment // ordered incremental log segments
 }
 
@@ -62,7 +63,11 @@ func (db *Database) Backup(destDir string) error {
 	if err := copyFile(filepath.Join(db.dir, "data.wal"), filepath.Join(destDir, "data.wal")); err != nil {
 		return err
 	}
-	m := BackupManifest{MetaGen: master.MetaGen, WalSize: db.log.Size()}
+	// Under the quiesce latch after a checkpoint the log is fully flushed,
+	// but record the durable LSN explicitly rather than assuming Size ==
+	// DurableLSN: replication seeds a replica from this backup and must
+	// resume streaming at exactly the LSN the copied log ends at.
+	m := BackupManifest{MetaGen: master.MetaGen, WalSize: db.log.Size(), DurableLSN: db.log.DurableLSN()}
 	return writeManifest(destDir, &m)
 }
 
@@ -169,6 +174,12 @@ func writeManifest(dir string, m *BackupManifest) error {
 		return err
 	}
 	return os.Rename(tmp, filepath.Join(dir, manifestName))
+}
+
+// ReadBackupManifest loads the manifest of a backup directory. Replication
+// uses it to learn the durable LSN a seed transfer ends at.
+func ReadBackupManifest(dir string) (*BackupManifest, error) {
+	return readManifest(dir)
 }
 
 func readManifest(dir string) (*BackupManifest, error) {

@@ -58,6 +58,10 @@ type Options struct {
 	// may load asynchronously. 0 (the default) disables readahead. Also
 	// settable at runtime via Database.SetPrefetchDepth.
 	PrefetchDepth int
+	// Replica opens the database in replica mode: Begin refuses update
+	// transactions (ErrReplicaReadOnly) and changes arrive only through
+	// ApplyReplicated until Promote lifts the gate.
+	Replica bool
 }
 
 // Database is an open Sedna database: one directory holding the data file,
@@ -97,6 +101,13 @@ type Database struct {
 	// new reader never sees a commit timestamp whose metadata versions are
 	// not yet published.
 	pubMu sync.Mutex
+
+	// replica gates Begin while the node applies a primary's log;
+	// replRestart/replCommit are the replication progress watermarks
+	// (primary-log positions), recovered from RecReplApplied records.
+	replica     atomic.Bool
+	replRestart atomic.Uint64
+	replCommit  atomic.Uint64
 
 	closed bool
 	mu     sync.Mutex
@@ -144,6 +155,7 @@ func Open(dir string, opts Options) (*Database, error) {
 	}
 	db.txm = txn.NewManagerWithMetrics(db.buf, log, pf, db.locks, reg)
 	db.txm.LockTimeout = opts.LockTimeout
+	db.replica.Store(opts.Replica)
 	db.SetQueryWorkers(opts.QueryWorkers)
 	db.SetPrefetchDepth(opts.PrefetchDepth)
 
@@ -281,6 +293,18 @@ func (db *Database) checkpointLocked() error {
 		return err
 	}
 	removeOldMeta(db.dir, gen)
+	// Recovery scans the log only from this checkpoint, so any replication
+	// progress recorded inside earlier apply transactions just became
+	// invisible to it: re-assert the watermarks with a standalone record
+	// above the checkpoint.
+	if restart, commit := db.ReplProgress(); restart > 0 || commit > 0 {
+		if _, err := db.log.Append(&wal.Record{Type: wal.RecReplApplied, RestartLSN: restart, CommitLSN: commit}); err != nil {
+			return err
+		}
+		if err := db.log.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -330,16 +354,13 @@ type Tx struct {
 	pendingDrops []string // documents dropped by this transaction
 }
 
-// Begin starts an update transaction.
+// Begin starts an update transaction. On a replica it fails with
+// ErrReplicaReadOnly: changes arrive only via ApplyReplicated until Promote.
 func (db *Database) Begin() (*Tx, error) {
-	db.mu.Lock()
-	if db.closed {
-		db.mu.Unlock()
-		return nil, ErrClosed
+	if db.replica.Load() {
+		return nil, ErrReplicaReadOnly
 	}
-	db.mu.Unlock()
-	db.quiesce.RLock()
-	return &Tx{Tx: db.txm.Begin(), db: db}, nil
+	return db.beginApply()
 }
 
 // BeginReadOnly starts a non-blocking snapshot transaction (§6.3).

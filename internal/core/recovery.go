@@ -74,10 +74,22 @@ func (db *Database) recover() error {
 		return err
 	}
 
-	// Step 2, pass 2: redo committed operations in log order.
+	// Step 2, pass 2: redo committed operations in log order. Replication
+	// progress records are recovered alongside: a standalone watermark
+	// (Txn == 0) is always valid, one inside an apply transaction only if
+	// that transaction committed. Later records carry larger watermarks, so
+	// plain assignment keeps the maximum.
 	redo := &redoState{db: db, pages: make(map[sas.PageID][]byte)}
+	var replRestart, replCommit uint64
 	err = db.log.Scan(master.CheckpointLSN, func(_ uint64, r *wal.Record) error {
 		if r.Type == wal.RecCheckpoint {
+			return nil
+		}
+		if r.Type == wal.RecReplApplied {
+			_, ok := committed[r.Txn]
+			if r.Txn == 0 || ok {
+				replRestart, replCommit = r.RestartLSN, r.CommitLSN
+			}
 			return nil
 		}
 		if _, ok := committed[r.Txn]; !ok {
@@ -92,6 +104,7 @@ func (db *Database) recover() error {
 		return err
 	}
 	db.txm.SetCommitTS(maxCTS)
+	db.noteReplProgress(replRestart, replCommit)
 
 	// Recompute schema counters from block headers and publish the initial
 	// committed metadata version of every document.

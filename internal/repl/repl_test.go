@@ -1,0 +1,268 @@
+package repl_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sedna/client"
+	"sedna/internal/core"
+	"sedna/internal/repl"
+	"sedna/internal/server"
+)
+
+// startPrimary opens a fresh database and serves it.
+func startPrimary(t *testing.T) (*server.Server, *core.Database) {
+	t.Helper()
+	db, err := core.Open(t.TempDir(), core.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Listen(db, "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		db.Close()
+	})
+	return srv, db
+}
+
+// startReplica seeds a replica of the primary into dir and serves it.
+func startReplica(t *testing.T, dir, primaryAddr string) (*repl.Replica, *server.Server) {
+	t.Helper()
+	rep, err := repl.Start(dir, primaryAddr, core.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.Listen(rep.DB(), "127.0.0.1:0")
+	if err != nil {
+		rep.Close()
+		t.Fatal(err)
+	}
+	srv.Governor().SetReplica(rep)
+	t.Cleanup(func() {
+		srv.Close()
+		rep.Stop()
+		rep.DB().Close()
+	})
+	return rep, srv
+}
+
+func connect(t *testing.T, addr string) *client.Conn {
+	t.Helper()
+	c, err := client.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func mustExec(t *testing.T, c *client.Conn, q string) *client.Result {
+	t.Helper()
+	res, err := c.Execute(q)
+	if err != nil {
+		t.Fatalf("execute %q: %v", q, err)
+	}
+	return res
+}
+
+// waitConverged polls until the replica answers q exactly like the primary.
+func waitConverged(t *testing.T, primary, replica *client.Conn, q string) string {
+	t.Helper()
+	want := mustExec(t, primary, q).Data
+	deadline := time.Now().Add(15 * time.Second)
+	var got string
+	for time.Now().Before(deadline) {
+		res, err := replica.Execute(q)
+		if err == nil {
+			got = res.Data
+			if got == want {
+				return want
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("replica did not converge on %q: primary=%q replica=%q", q, want, got)
+	return ""
+}
+
+func TestReplicaSeedAndStreamConverges(t *testing.T) {
+	srv, _ := startPrimary(t)
+	p := connect(t, srv.Addr())
+
+	// Pre-seed state: exercised by the hot-backup transfer.
+	mustExec(t, p, `CREATE DOCUMENT "d"`)
+	mustExec(t, p, `UPDATE insert <r><seed>1</seed></r> into doc("d")`)
+
+	_, rsrv := startReplica(t, t.TempDir(), srv.Addr())
+	r := connect(t, rsrv.Addr())
+
+	// Write burst while the replica streams.
+	for i := 0; i < 1000; i++ {
+		mustExec(t, p, fmt.Sprintf(`UPDATE insert <x>%d</x> into doc("d")/r`, i))
+	}
+	mustExec(t, p, `CREATE DOCUMENT "late"`)
+	mustExec(t, p, `UPDATE insert <l><v>42</v></l> into doc("late")`)
+
+	waitConverged(t, p, r, `count(doc("d")/r/x)`)
+	data := waitConverged(t, p, r, `doc("d")/r`)
+	if data == "" {
+		t.Fatal("empty converged serialization")
+	}
+	waitConverged(t, p, r, `doc("late")/l`)
+
+	// The replica is read-only.
+	if _, err := r.Execute(`UPDATE insert <nope/> into doc("d")/r`); err == nil {
+		t.Fatal("replica accepted a write before promotion")
+	}
+
+	// Topology is observable from both sides.
+	pt, err := p.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Role != "primary" || len(pt.Replicas) != 1 {
+		t.Fatalf("primary topology = %+v", pt)
+	}
+	rt, err := r.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Role != "replica" || rt.Self == nil || rt.Self.State != "streaming" {
+		t.Fatalf("replica topology = %+v", rt)
+	}
+}
+
+func TestReplicaReconnectCatchesUp(t *testing.T) {
+	srv, _ := startPrimary(t)
+	p := connect(t, srv.Addr())
+	mustExec(t, p, `CREATE DOCUMENT "d"`)
+	mustExec(t, p, `UPDATE insert <r/> into doc("d")`)
+
+	rep, rsrv := startReplica(t, t.TempDir(), srv.Addr())
+	r := connect(t, rsrv.Addr())
+	waitConverged(t, p, r, `count(doc("d")//node())`)
+
+	// Sever the stream, keep writing, and require full catch-up after the
+	// automatic reconnect.
+	rep.BreakConn()
+	for i := 0; i < 100; i++ {
+		mustExec(t, p, fmt.Sprintf(`UPDATE insert <y>%d</y> into doc("d")/r`, i))
+	}
+	waitConverged(t, p, r, `count(doc("d")/r/y)`)
+	waitConverged(t, p, r, `doc("d")/r`)
+	if n := rep.DB().Metrics().Counter("repl.reconnects").Value(); n == 0 {
+		t.Fatal("reconnect not counted")
+	}
+}
+
+func TestReplicaRestartResumesFromWatermark(t *testing.T) {
+	srv, _ := startPrimary(t)
+	p := connect(t, srv.Addr())
+	mustExec(t, p, `CREATE DOCUMENT "d"`)
+	mustExec(t, p, `UPDATE insert <r><a>1</a></r> into doc("d")`)
+
+	dir := t.TempDir()
+	rep, err := repl.Start(dir, srv.Addr(), core.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv, err := server.Listen(rep.DB(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv.Governor().SetReplica(rep)
+	r := connect(t, rsrv.Addr())
+	waitConverged(t, p, r, `doc("d")/r`)
+
+	// Shut the replica down cleanly, advance the primary, restart the
+	// replica over the same directory: it must resume from its persisted
+	// watermark (no seed) and catch up.
+	r.Close() // the server waits for live sessions on Close
+	rsrv.Close()
+	rep.Stop()
+	if err := rep.DB().Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		mustExec(t, p, fmt.Sprintf(`UPDATE insert <b>%d</b> into doc("d")/r`, i))
+	}
+
+	_, rsrv2 := startReplica(t, dir, srv.Addr())
+	r2 := connect(t, rsrv2.Addr())
+	waitConverged(t, p, r2, `count(doc("d")/r/b)`)
+	waitConverged(t, p, r2, `doc("d")/r`)
+}
+
+func TestPromoteMakesReplicaWritableAndDurable(t *testing.T) {
+	srv, _ := startPrimary(t)
+	p := connect(t, srv.Addr())
+	mustExec(t, p, `CREATE DOCUMENT "d"`)
+	mustExec(t, p, `UPDATE insert <r><a>1</a></r> into doc("d")`)
+
+	dir := t.TempDir()
+	rep, err := repl.Start(dir, srv.Addr(), core.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv, err := server.Listen(rep.DB(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsrv.Governor().SetReplica(rep)
+	r := connect(t, rsrv.Addr())
+	waitConverged(t, p, r, `doc("d")/r`)
+
+	if _, err := r.Execute(`UPDATE insert <w/> into doc("d")/r`); err == nil {
+		t.Fatal("write accepted before promotion")
+	}
+	msg, err := r.Promote()
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if msg == "" {
+		t.Fatal("empty promote acknowledgement")
+	}
+	mustExec(t, r, `UPDATE insert <w>post</w> into doc("d")/r`)
+	if got := mustExec(t, r, `count(doc("d")/r/w)`).Data; got != "1" {
+		t.Fatalf("post-promote write invisible: count=%q", got)
+	}
+	rt, err := r.ReplStatus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Role != "primary" {
+		t.Fatalf("promoted node still reports role %q", rt.Role)
+	}
+
+	// Promoted writes survive a clean restart as a normal database.
+	r.Close() // the server waits for live sessions on Close
+	rsrv.Close()
+	if err := rep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := core.Open(dir, core.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Replica() {
+		t.Fatal("promoted database reopened as replica")
+	}
+	srv2, err := server.Listen(db, "127.0.0.1:0")
+	if err != nil {
+		db.Close()
+		t.Fatal(err)
+	}
+	c2 := connect(t, srv2.Addr())
+	got := mustExec(t, c2, `count(doc("d")/r/w)`).Data
+	c2.Close() // before srv2.Close: the server waits for live sessions
+	srv2.Close()
+	db.Close()
+	if got != "1" {
+		t.Fatalf("post-promote write lost after restart: count=%q", got)
+	}
+}

@@ -4,112 +4,58 @@
 // session; and a transaction component wraps every database transaction a
 // session runs. Clients talk to the server over a small length-prefixed
 // message protocol on TCP.
+//
+// The frame format itself lives in package wire (shared with the
+// replication subsystem and the Go driver); this file re-exports it so
+// existing callers keep working against the server package.
 package server
 
 import (
-	"encoding/binary"
-	"encoding/json"
-	"errors"
-	"fmt"
 	"io"
+
+	"sedna/internal/wire"
 )
 
 // Message types (client → server).
 const (
-	MsgHello    = 1
-	MsgBegin    = 2
-	MsgExecute  = 3
-	MsgCommit   = 4
-	MsgRollback = 5
-	MsgQuit     = 6
-	MsgMetrics  = 7
-	MsgSlowLog  = 8
-	MsgWorkers  = 9
-	MsgPrefetch = 10
+	MsgHello      = wire.MsgHello
+	MsgBegin      = wire.MsgBegin
+	MsgExecute    = wire.MsgExecute
+	MsgCommit     = wire.MsgCommit
+	MsgRollback   = wire.MsgRollback
+	MsgQuit       = wire.MsgQuit
+	MsgMetrics    = wire.MsgMetrics
+	MsgSlowLog    = wire.MsgSlowLog
+	MsgWorkers    = wire.MsgWorkers
+	MsgPrefetch   = wire.MsgPrefetch
+	MsgReplicate  = wire.MsgReplicate
+	MsgReplStatus = wire.MsgReplStatus
+	MsgPromote    = wire.MsgPromote
 )
 
 // Message types (server → client).
 const (
-	MsgOK     = 64
-	MsgResult = 65
-	MsgError  = 66
+	MsgOK     = wire.MsgOK
+	MsgResult = wire.MsgResult
+	MsgError  = wire.MsgError
 )
 
-// maxMessage bounds a single protocol message.
-const maxMessage = 64 << 20
-
 // ErrTooLarge reports a framed message whose declared length exceeds the
-// protocol limit. The server answers it with a protocol error before closing
-// the connection; everything after the oversized header is unparseable.
-var ErrTooLarge = errors.New("server: message exceeds size limit")
+// protocol limit.
+var ErrTooLarge = wire.ErrTooLarge
 
 // Request is a client message payload.
-type Request struct {
-	ReadOnly bool   `json:"readonly,omitempty"` // MsgBegin
-	Query    string `json:"query,omitempty"`    // MsgExecute
-
-	// MsgSlowLog: N bounds how many retained slow traces to return (0 =
-	// all); when SetThreshold is set, the server first updates the
-	// slow-query threshold to ThresholdNs (0 disables the slow log).
-	N            int   `json:"n,omitempty"`
-	ThresholdNs  int64 `json:"threshold_ns,omitempty"`
-	SetThreshold bool  `json:"set_threshold,omitempty"`
-
-	// MsgWorkers: when SetWorkers is set, the server updates the intra-query
-	// parallelism cap to Workers (≤ 0 restores the GOMAXPROCS default); the
-	// response always reports the effective worker budget.
-	Workers    int  `json:"workers,omitempty"`
-	SetWorkers bool `json:"set_workers,omitempty"`
-
-	// MsgPrefetch: when SetPrefetch is set, the server updates the default
-	// chain-readahead depth to Prefetch (≤ 0 disables readahead); the
-	// response always reports the effective depth.
-	Prefetch    int  `json:"prefetch,omitempty"`
-	SetPrefetch bool `json:"set_prefetch,omitempty"`
-}
+type Request = wire.Request
 
 // Response is a server message payload.
-type Response struct {
-	Message string `json:"message,omitempty"`
-	Data    string `json:"data,omitempty"`
-	Updated int    `json:"updated,omitempty"`
-	Error   string `json:"error,omitempty"`
-}
+type Response = wire.Response
 
 // WriteMsg frames and writes one message.
 func WriteMsg(w io.Writer, typ byte, payload any) error {
-	body, err := json.Marshal(payload)
-	if err != nil {
-		return err
-	}
-	var hdr [5]byte
-	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(body)))
-	hdr[4] = typ
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(body)
-	return err
+	return wire.WriteMsg(w, typ, payload)
 }
 
 // ReadMsg reads one framed message.
 func ReadMsg(r io.Reader, payload any) (byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, err
-	}
-	n := binary.LittleEndian.Uint32(hdr[:4])
-	if n > maxMessage {
-		return 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, n)
-	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return 0, err
-	}
-	if payload != nil {
-		if err := json.Unmarshal(body, payload); err != nil {
-			return 0, err
-		}
-	}
-	return hdr[4], nil
+	return wire.ReadMsg(r, payload)
 }

@@ -14,6 +14,7 @@ import (
 	"sedna/internal/core"
 	"sedna/internal/metrics"
 	"sedna/internal/query"
+	"sedna/internal/repl"
 	"sedna/internal/trace"
 )
 
@@ -22,6 +23,12 @@ import (
 // manages their lifecycle.
 type Governor struct {
 	db *core.Database
+
+	// primary serves downstream replication streams (REPLICATE); replica,
+	// when set, is the replication client this server fronts (set once at
+	// startup, before any session runs).
+	primary *repl.Primary
+	replica *repl.Replica
 
 	mu       sync.Mutex
 	sessions map[uint64]*Session
@@ -60,10 +67,19 @@ func bindGovMetrics(reg *metrics.Registry) govMetrics {
 func NewGovernor(db *core.Database) *Governor {
 	return &Governor{
 		db:       db,
+		primary:  repl.NewPrimary(db),
 		sessions: make(map[uint64]*Session),
 		met:      bindGovMetrics(db.Metrics()),
 	}
 }
+
+// Primary returns the replication manager serving downstream replicas.
+func (g *Governor) Primary() *repl.Primary { return g.primary }
+
+// SetReplica attaches the replication client when this server fronts a
+// replica database: REPLSTATUS then reports its stream state and PROMOTE
+// detaches it, making the node writable. Must be called before serving.
+func (g *Governor) SetReplica(r *repl.Replica) { g.replica = r }
 
 // Metrics returns the registry shared by the governor and its database.
 func (g *Governor) Metrics() *metrics.Registry { return g.db.Metrics() }
@@ -265,6 +281,39 @@ func (g *Governor) prefetch(req *Request) (*Response, error) {
 	}, nil
 }
 
+// replStatus serves a MsgReplStatus request: the node's role and lag-aware
+// replica topology as JSON.
+func (g *Governor) replStatus() (*Response, error) {
+	t := repl.Topology{Role: "primary", Replicas: g.primary.Status()}
+	if g.replica != nil {
+		self := g.replica.Status()
+		t.Self = &self
+		if self.State != "promoted" {
+			t.Role = "replica"
+		}
+	}
+	b, err := json.Marshal(&t)
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		Data:    string(b),
+		Message: fmt.Sprintf("role=%s replicas=%d", t.Role, len(t.Replicas)),
+	}, nil
+}
+
+// promote serves a MsgPromote request: the replica detaches from its primary
+// and starts accepting writes.
+func (g *Governor) promote() (*Response, error) {
+	if g.replica == nil {
+		return nil, errors.New("server: not a replica")
+	}
+	if err := g.replica.Promote(); err != nil {
+		return nil, err
+	}
+	return &Response{Message: "promoted: accepting writes"}, nil
+}
+
 // Server accepts client connections.
 type Server struct {
 	gov *Governor
@@ -292,9 +341,12 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Governor exposes the governor.
 func (s *Server) Governor() *Governor { return s.gov }
 
-// Close stops accepting and waits for connections to finish.
+// Close stops accepting and waits for connections to finish. Replication
+// streams are terminated first — they are long-lived by design and would
+// otherwise hold the shutdown forever.
 func (s *Server) Close() error {
 	s.closed.Store(true)
+	s.gov.primary.Close()
 	err := s.ln.Close()
 	s.wg.Wait()
 	return err
@@ -384,6 +436,18 @@ func (s *Server) handle(rawConn net.Conn) {
 			resp, rerr = s.gov.workers(&req)
 		case MsgPrefetch:
 			resp, rerr = s.gov.prefetch(&req)
+		case MsgReplicate:
+			// The connection becomes a replication stream and never returns
+			// to the request-response loop.
+			if err := s.gov.primary.ServeConn(conn, &req); err != nil {
+				s.gov.met.errors.Inc()
+				log.Printf("sednad: replication stream: %v", err)
+			}
+			return
+		case MsgReplStatus:
+			resp, rerr = s.gov.replStatus()
+		case MsgPromote:
+			resp, rerr = s.gov.promote()
 		case MsgQuit:
 			WriteMsg(conn, MsgOK, &Response{Message: "bye"})
 			return
@@ -398,7 +462,7 @@ func (s *Server) handle(rawConn net.Conn) {
 			continue
 		}
 		out := byte(MsgOK)
-		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog || typ == MsgWorkers || typ == MsgPrefetch {
+		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog || typ == MsgWorkers || typ == MsgPrefetch || typ == MsgReplStatus {
 			out = MsgResult
 		}
 		if err := WriteMsg(conn, out, resp); err != nil {

@@ -426,6 +426,23 @@ func (tx *Tx) AllocPage() (sas.PageID, error) {
 	return id, nil
 }
 
+// AllocPageAt mirrors a specific page allocation: the exact page id is
+// claimed from the allocator (removed from the free list, or the
+// next-allocation cursor advanced past it) and logged. Replication apply
+// uses it so replicas materialize the primary's pages at identical ids —
+// physical log shipping only works when the address spaces match.
+func (tx *Tx) AllocPageAt(id sas.PageID) error {
+	if tx.readonly {
+		return ErrReadOnly
+	}
+	if _, err := tx.m.log.Append(&wal.Record{Type: wal.RecAllocPage, Txn: tx.id, Page: id}); err != nil {
+		return err
+	}
+	tx.m.pf.RedoAlloc(id)
+	tx.allocs = append(tx.allocs, id)
+	return nil
+}
+
 // FreePage implements storage.Writer: the page returns to the allocator at
 // commit (so an abort keeps it), and old snapshots keep reading its prior
 // content through the version store even after reuse.

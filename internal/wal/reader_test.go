@@ -1,0 +1,170 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestReaderTailsInChunks ships the whole log through ReadRecords with a
+// tiny chunk bound and checks ScanBytes reassembles every record with
+// correct LSNs.
+func TestReaderTailsInChunks(t *testing.T) {
+	l := openTemp(t)
+	var lsns []uint64
+	const n = 200
+	for i := 0; i < n; i++ {
+		lsn, err := l.Append(&Record{Type: RecCreateDoc, Txn: uint64(i + 1), DocID: uint32(i), Name: fmt.Sprintf("doc-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := l.OpenReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+
+	var got []uint64
+	pos := uint64(0)
+	for {
+		data, next, cnt, err := rd.ReadRecords(pos, 64) // force many chunks
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt == 0 {
+			break
+		}
+		err = ScanBytes(pos, data, func(lsn uint64, r *Record, recLen int) error {
+			if r.Type != RecCreateDoc {
+				return fmt.Errorf("unexpected type %d at %d", r.Type, lsn)
+			}
+			got = append(got, lsn)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pos = next
+	}
+	if pos != l.DurableLSN() {
+		t.Fatalf("reader stopped at %d, durable %d", pos, l.DurableLSN())
+	}
+	if len(got) != n {
+		t.Fatalf("scanned %d records, want %d", len(got), n)
+	}
+	for i, lsn := range got {
+		if lsn != lsns[i] {
+			t.Fatalf("record %d at LSN %d, want %d", i, lsn, lsns[i])
+		}
+	}
+
+	// Caught up: no data, same position.
+	data, next, cnt, err := rd.ReadRecords(pos, 1<<20)
+	if err != nil || data != nil || next != pos || cnt != 0 {
+		t.Fatalf("caught-up read = (%v,%d,%d,%v)", data, next, cnt, err)
+	}
+	// Past durable is an error, not a silent wait.
+	if _, _, _, err := rd.ReadRecords(pos+1, 1<<20); err == nil {
+		t.Fatal("read past durable LSN succeeded")
+	}
+}
+
+// TestReaderOversizedRecord checks a record bigger than the chunk bound is
+// returned whole.
+func TestReaderOversizedRecord(t *testing.T) {
+	l := openTemp(t)
+	big := make([]byte, 96)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if _, err := l.Append(&Record{Type: RecPageWrite, Txn: 1, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := l.OpenReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	data, next, cnt, err := rd.ReadRecords(0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cnt != 1 || next != l.DurableLSN() {
+		t.Fatalf("oversized read = (%d bytes, next %d, cnt %d)", len(data), next, cnt)
+	}
+	if err := ScanBytes(0, data, func(_ uint64, r *Record, _ int) error {
+		if len(r.Data) != len(big) {
+			return fmt.Errorf("payload %d bytes, want %d", len(r.Data), len(big))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanBytesRejectsTorn checks strict corruption handling on shipped
+// chunks: a truncated buffer is an error, unlike the tolerant tail scan.
+func TestScanBytesRejectsTorn(t *testing.T) {
+	l := openTemp(t)
+	if _, err := l.Append(&Record{Type: RecCommit, Txn: 1, CommitTS: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := l.OpenReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	data, _, _, err := rd.ReadRecords(0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ScanBytes(0, data[:len(data)-1], func(uint64, *Record, int) error { return nil }); err == nil {
+		t.Fatal("torn chunk scanned without error")
+	}
+	data[len(data)-1] ^= 0xff
+	if err := ScanBytes(0, data, func(uint64, *Record, int) error { return nil }); err == nil {
+		t.Fatal("corrupt chunk scanned without error")
+	}
+}
+
+// TestNotifyDurable checks flush notifications reach subscribers and stop
+// after cancel.
+func TestNotifyDurable(t *testing.T) {
+	l := openTemp(t)
+	ch := make(chan struct{}, 1)
+	cancel := l.NotifyDurable(ch)
+	if _, err := l.Append(&Record{Type: RecBegin, Txn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("no durable notification after flush")
+	}
+	cancel()
+	if _, err := l.Append(&Record{Type: RecCommit, Txn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("notification after cancel")
+	default:
+	}
+}

@@ -44,6 +44,13 @@ const (
 	RecDropIndex
 	RecIndexMeta
 	RecCheckpoint
+	// RecReplApplied is written only on replicas: it records how far in the
+	// primary's log the replica has applied, so a restarted replica resumes
+	// streaming from the right point. Inside an apply transaction it carries
+	// that transaction's progress (valid only if the transaction committed);
+	// with Txn == 0 it is a standalone watermark written after a checkpoint
+	// or a seed, flushed before it is relied upon.
+	RecReplApplied
 )
 
 // Record is the union of all log record payloads; which fields are
@@ -66,6 +73,14 @@ type Record struct {
 	Kind     byte   // RecAddSchemaNode
 
 	Ptrs [5]sas.XPtr // RecSchemaBlocks (first,last), RecDocMeta (root, indirF, indirL, textF, textL)
+
+	// RecReplApplied: RestartLSN is the primary-log position replication
+	// must resume shipping from (every record below it is applied or belongs
+	// to an aborted transaction); CommitLSN is the position just past the
+	// last applied commit record (commit records below it must not be
+	// re-applied when the stream overlaps).
+	RestartLSN uint64
+	CommitLSN  uint64
 }
 
 // ErrCorrupt reports a malformed record in the middle of the log (not a
@@ -102,6 +117,11 @@ type Log struct {
 	waiters int    // flushers waiting for the in-flight round
 	noSync  bool
 	path    string
+
+	// durableSubs are notified (non-blocking) whenever the durable LSN
+	// advances; replication streamers tailing the log wait on them.
+	durableSubs map[int]chan struct{}
+	nextSub     int
 
 	met walMetrics
 }
@@ -280,8 +300,40 @@ func (l *Log) FlushSpan(sp *trace.Span) error {
 		l.met.groupCommit.Inc()
 		l.met.groupSize.Set(int64(group))
 		l.cond.Broadcast()
+		l.notifyDurableLocked()
 	}
 	return nil
+}
+
+// notifyDurableLocked wakes durable-LSN subscribers without blocking; a
+// subscriber whose channel is full already has a wakeup pending.
+func (l *Log) notifyDurableLocked() {
+	for _, ch := range l.durableSubs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// NotifyDurable registers ch to receive a (non-blocking) signal every time
+// the durable LSN advances. The returned cancel function unregisters it.
+// Subscribers must still poll DurableLSN: signals are wakeups, not values,
+// and may be coalesced.
+func (l *Log) NotifyDurable(ch chan struct{}) (cancel func()) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.durableSubs == nil {
+		l.durableSubs = make(map[int]chan struct{})
+	}
+	id := l.nextSub
+	l.nextSub++
+	l.durableSubs[id] = ch
+	return func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		delete(l.durableSubs, id)
+	}
 }
 
 // DurableLSN returns the LSN below which every record is durable.
@@ -415,6 +467,9 @@ func encodeRecord(r *Record) []byte {
 	case RecIndexMeta:
 		b = appendString(b, r.Name)
 		b = binary.LittleEndian.AppendUint64(b, uint64(r.Ptrs[0]))
+	case RecReplApplied:
+		b = binary.LittleEndian.AppendUint64(b, r.RestartLSN)
+		b = binary.LittleEndian.AppendUint64(b, r.CommitLSN)
 	case RecBegin, RecAbort, RecCheckpoint:
 		// no payload beyond type+txn
 	}
@@ -523,6 +578,9 @@ func decodeRecord(payload []byte) (*Record, error) {
 	case RecIndexMeta:
 		r.Name = d.str()
 		r.Ptrs[0] = sas.XPtr(d.u64())
+	case RecReplApplied:
+		r.RestartLSN = d.u64()
+		r.CommitLSN = d.u64()
 	case RecBegin, RecAbort, RecCheckpoint:
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, r.Type)

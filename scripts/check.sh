@@ -25,9 +25,13 @@ go test ./...
 
 echo "== go test -race (concurrency-sensitive packages) =="
 go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/wal \
-    ./internal/txn ./internal/core ./internal/lock ./internal/server ./internal/query
+    ./internal/txn ./internal/core ./internal/lock ./internal/server ./internal/query \
+    ./internal/repl
 
 echo "== bench smoke (compile + one iteration of every benchmark) =="
 go test -bench=. -benchtime=1x -run '^$' .
+
+echo "== replication smoke (E20: seed, stream, storm, converge) =="
+go run ./cmd/sedna-bench -run E20
 
 echo "check.sh: all green"
