@@ -175,6 +175,52 @@ func (c *Conn) ReplStatus() (*repl.Topology, error) {
 	return &t, nil
 }
 
+// Sessions fetches the server's live session registry: every connected
+// session with its cumulative resource accounting and, when one is
+// executing, its in-flight statement (query text, elapsed time, live span
+// tree).
+func (c *Conn) Sessions() ([]server.SessionInfo, error) {
+	resp, err := c.roundTrip(server.MsgSessions, server.Request{})
+	if err != nil {
+		return nil, err
+	}
+	var infos []server.SessionInfo
+	if err := json.Unmarshal([]byte(resp.Data), &infos); err != nil {
+		return nil, fmt.Errorf("client: sessions: %w", err)
+	}
+	return infos, nil
+}
+
+// Kill cancels whatever statement the target session is executing right
+// now. The statement fails over there with a "killed" error and its
+// transaction is cleanly aborted; the target session stays connected.
+func (c *Conn) Kill(sessionID uint64) error {
+	_, err := c.roundTrip(server.MsgKill, server.Request{KillSession: sessionID})
+	return err
+}
+
+// KillStatement cancels one specific statement (by the per-session ordinal
+// SESSIONS reports); if that statement already finished, the kill fails
+// instead of hitting its successor.
+func (c *Conn) KillStatement(sessionID, ordinal uint64) error {
+	_, err := c.roundTrip(server.MsgKill, server.Request{KillSession: sessionID, KillStatement: ordinal})
+	return err
+}
+
+// Cluster fetches the merged topology/health snapshot of the server: its
+// replication role with per-replica lag plus every local session.
+func (c *Conn) Cluster() (*server.ClusterInfo, error) {
+	resp, err := c.roundTrip(server.MsgCluster, server.Request{})
+	if err != nil {
+		return nil, err
+	}
+	var ci server.ClusterInfo
+	if err := json.Unmarshal([]byte(resp.Data), &ci); err != nil {
+		return nil, fmt.Errorf("client: cluster: %w", err)
+	}
+	return &ci, nil
+}
+
 // Promote detaches a replica server from its primary and makes it writable.
 func (c *Conn) Promote() (string, error) {
 	resp, err := c.roundTrip(server.MsgPromote, server.Request{})

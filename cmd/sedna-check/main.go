@@ -102,8 +102,11 @@ func printMetricsSummary(db *core.Database) {
 		fmt.Printf("  %-9s %s\n", label, strings.Join(parts, "  "))
 	}
 	row("buffer", "buffer.hits", "buffer.faults", "buffer.evictions", "buffer.versions_live")
+	// Guard the derived ratio against zero lookups: 0/0 would print NaN.
 	if total := s.Counters["buffer.hits"] + s.Counters["buffer.faults"]; total > 0 {
 		fmt.Printf("  %-9s hit_ratio=%.4f\n", "", float64(s.Counters["buffer.hits"])/float64(total))
+	} else {
+		fmt.Printf("  %-9s hit_ratio=n/a (no lookups)\n", "")
 	}
 	if issued := s.Counters["buffer.prefetch_issued"]; issued > 0 {
 		row("prefetch", "buffer.prefetch_issued", "buffer.prefetch_hits", "buffer.prefetch_wasted", "buffer.prefetch_dropped")

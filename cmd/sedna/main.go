@@ -17,6 +17,10 @@
 //	\prefetch [D] show or set the chain-readahead depth (0 = off)
 //	\replicas     show the replication topology (role, replicas, lag)
 //	\promote      promote a replica server to a writable primary
+//	\sessions     list live sessions with accounting and in-flight statements
+//	\kill SESSION [STMT]   cancel a session's running statement (optionally
+//	              fenced to per-session statement ordinal STMT)
+//	\cluster      merged view: replication topology + local sessions
 //	\q            quit
 //
 // EXPLAIN <stmt> and PROFILE <stmt> are regular statements — end them with
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"sedna/client"
+	"sedna/internal/server"
 )
 
 func main() {
@@ -234,6 +239,55 @@ func command(c *client.Conn, cmd string) bool {
 		} else {
 			fmt.Println(msg)
 		}
+	case `\sessions`:
+		infos, err := c.Sessions()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		for _, in := range infos {
+			printSession(in)
+		}
+	case `\kill`:
+		if len(fields) < 2 || len(fields) > 3 {
+			fmt.Fprintln(os.Stderr, `usage: \kill SESSION [STMT]`)
+			return true
+		}
+		sess, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, `usage: \kill SESSION [STMT]`)
+			return true
+		}
+		var ord uint64
+		if len(fields) == 3 {
+			if ord, err = strconv.ParseUint(fields[2], 10, 64); err != nil {
+				fmt.Fprintln(os.Stderr, `usage: \kill SESSION [STMT]`)
+				return true
+			}
+		}
+		if err := c.KillStatement(sess, ord); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		} else {
+			fmt.Printf("killed session %d\n", sess)
+		}
+	case `\cluster`:
+		ci, err := c.Cluster()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return true
+		}
+		fmt.Printf("role: %s\n", ci.Topology.Role)
+		if s := ci.Topology.Self; s != nil {
+			fmt.Printf("upstream %s  state=%s  lag=%d LSNs\n", s.Primary, s.State, s.LagLSNs)
+		}
+		for _, r := range ci.Topology.Replicas {
+			fmt.Printf("replica %s  state=%s  lag=%d LSNs  acked=%d\n",
+				r.Addr, r.State, r.LagLSNs, r.AckedLSN)
+		}
+		fmt.Printf("sessions: %d\n", len(ci.Sessions))
+		for _, in := range ci.Sessions {
+			printSession(in)
+		}
 	case `\load`:
 		if len(fields) != 3 {
 			fmt.Fprintln(os.Stderr, `usage: \load FILE NAME`)
@@ -244,6 +298,31 @@ func command(c *client.Conn, cmd string) bool {
 		fmt.Fprintf(os.Stderr, "unknown command %s\n", fields[0])
 	}
 	return true
+}
+
+// printSession renders one session's introspection view: a summary line, a
+// stats line, and — when a statement is executing — what it is and for how
+// long.
+func printSession(in server.SessionInfo) {
+	state := "idle"
+	if in.Statement != nil {
+		state = "running"
+	}
+	fmt.Printf("session %d  client=%s  connected=%s  tx_open=%v  %s\n",
+		in.ID, in.Client,
+		time.Since(time.Unix(0, in.ConnectedUnixNs)).Round(time.Second), in.TxOpen, state)
+	st := in.Stats
+	fmt.Printf("  stmts=%d errors=%d nodes=%d faults=%d reads=%d writes=%d wal_bytes=%d lock_wait=%s exec=%s\n",
+		st.Statements, st.Errors, st.Nodes, st.BufferFaults, st.PagesRead, st.PagesWritten,
+		st.WALBytes, time.Duration(st.LockWaitNs), time.Duration(st.ExecNs))
+	if in.Statement != nil {
+		q := in.Statement.Query
+		if len(q) > 120 {
+			q = q[:117] + "..."
+		}
+		fmt.Printf("  statement %d  elapsed=%s  %s\n",
+			in.Statement.Ordinal, time.Duration(in.Statement.ElapsedNs).Round(time.Millisecond), q)
+	}
 }
 
 // loadFile bulk-loads by creating the document and streaming its content as

@@ -77,13 +77,13 @@ func main() {
 	log.Printf("sednad: serving database %q on %s", *dir, srv.Addr())
 	var ms *server.MetricsServer
 	if *metricsAddr != "" {
-		ms, err = server.ListenMetrics(db.Metrics(), db.Tracer(), *metricsAddr)
+		ms, err = server.ListenMetrics(db.Metrics(), db.Tracer(), srv.Governor(), *metricsAddr)
 		if err != nil {
 			srv.Close()
 			db.Close()
 			log.Fatalf("sednad: metrics listen: %v", err)
 		}
-		log.Printf("sednad: metrics on http://%s/metrics, slow-query log on /slowlog, profiles on /debug/pprof/", ms.Addr())
+		log.Printf("sednad: metrics on http://%s/metrics (?format=prometheus), sessions on /sessions, slow-query log on /slowlog, profiles on /debug/pprof/", ms.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -116,6 +116,18 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 // SumNs returns the total of all observations in nanoseconds.
 func (h *Histogram) SumNs() int64 { return h.sum.Load() }
 
+// BucketBoundsNs returns the upper bounds (inclusive, nanoseconds) of the
+// bounded histogram buckets, smallest first. Observations above the last
+// bound land in an overflow bucket reported only through the cumulative
+// Buckets slice (index len(bounds)) — in Prometheus terms, the "+Inf" bucket.
+func BucketBoundsNs() []int64 {
+	bounds := make([]int64, histBuckets)
+	for i := range bounds {
+		bounds[i] = histBase << i
+	}
+	return bounds
+}
+
 // value snapshots the histogram into a HistogramValue.
 func (h *Histogram) value() HistogramValue {
 	var v HistogramValue
@@ -125,6 +137,7 @@ func (h *Histogram) value() HistogramValue {
 		total += h.buckets[i].Load()
 		cum[i] = total
 	}
+	v.Buckets = cum[:]
 	v.Count = total
 	v.SumNs = h.sum.Load()
 	quantile := func(q float64) int64 {
@@ -149,13 +162,15 @@ func (h *Histogram) value() HistogramValue {
 }
 
 // HistogramValue is the read-side view of a Histogram: totals plus
-// bucket-derived quantile upper bounds.
+// bucket-derived quantile upper bounds and the cumulative bucket counts
+// (one per BucketBoundsNs bound, then the overflow/+Inf bucket).
 type HistogramValue struct {
-	Count uint64 `json:"count"`
-	SumNs int64  `json:"sum_ns"`
-	P50Ns int64  `json:"p50_ns"`
-	P95Ns int64  `json:"p95_ns"`
-	P99Ns int64  `json:"p99_ns"`
+	Count   uint64   `json:"count"`
+	SumNs   int64    `json:"sum_ns"`
+	P50Ns   int64    `json:"p50_ns"`
+	P95Ns   int64    `json:"p95_ns"`
+	P99Ns   int64    `json:"p99_ns"`
+	Buckets []uint64 `json:"buckets,omitempty"`
 }
 
 // ExecStats counts executor events; the E5/E8/E9 experiments read them.
@@ -295,6 +310,67 @@ func mustKind[T any](name string, v any) T {
 	return t
 }
 
+// GaugeFunc is a gauge whose level is computed at snapshot time (e.g. uptime
+// derived from a start timestamp) instead of being stored.
+type GaugeFunc struct {
+	mu sync.Mutex
+	fn func() int64
+}
+
+// Value evaluates the gauge.
+func (g *GaugeFunc) Value() int64 {
+	g.mu.Lock()
+	fn := g.fn
+	g.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// GaugeFunc registers a computed gauge under name; registering the same name
+// again replaces the function (a restarted governor over a shared registry
+// re-binds its uptime).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m[name]; ok {
+		mustKind[*GaugeFunc](name, v).set(fn)
+		return
+	}
+	g := &GaugeFunc{}
+	g.set(fn)
+	r.m[name] = g
+}
+
+func (g *GaugeFunc) set(fn func() int64) {
+	g.mu.Lock()
+	g.fn = fn
+	g.mu.Unlock()
+}
+
+// info is a labeled constant-1 metric ("build info" convention): the value
+// carries no measurement, the labels do.
+type info struct {
+	labels map[string]string
+}
+
+// Info registers a labeled constant metric under name (value always 1),
+// replacing any previous labels. Used for sedna.build_info.
+func (r *Registry) Info(name string, labels map[string]string) {
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v, ok := r.m[name]; ok {
+		mustKind[*info](name, v).labels = cp
+		return
+	}
+	r.m[name] = &info{labels: cp}
+}
+
 // RecordProfile stores a query profile in the bounded recent-profiles ring.
 func (r *Registry) RecordProfile(p QueryProfile) {
 	r.profMu.Lock()
@@ -323,10 +399,11 @@ func (r *Registry) RecentProfiles() []QueryProfile {
 // individual value is read atomically; the set is read without stopping
 // writers, as fits monitoring).
 type Snapshot struct {
-	Counters   map[string]uint64         `json:"counters"`
-	Gauges     map[string]int64          `json:"gauges"`
-	Histograms map[string]HistogramValue `json:"histograms"`
-	Queries    []QueryProfile            `json:"recent_queries,omitempty"`
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramValue    `json:"histograms"`
+	Infos      map[string]map[string]string `json:"infos,omitempty"`
+	Queries    []QueryProfile               `json:"recent_queries,omitempty"`
 }
 
 // Snapshot reads every registered metric.
@@ -342,6 +419,14 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, v := range r.m {
 		names = append(names, name)
 		vals = append(vals, v)
+		// Info label maps are replaced (not mutated) under the write lock, so
+		// the pointer must be captured while the read lock is held.
+		if iv, ok := v.(*info); ok {
+			if s.Infos == nil {
+				s.Infos = make(map[string]map[string]string)
+			}
+			s.Infos[name] = iv.labels
+		}
 	}
 	r.mu.RUnlock()
 	for i, name := range names {
@@ -349,6 +434,8 @@ func (r *Registry) Snapshot() Snapshot {
 		case *Counter:
 			s.Counters[name] = v.Value()
 		case *Gauge:
+			s.Gauges[name] = v.Value()
+		case *GaugeFunc:
 			s.Gauges[name] = v.Value()
 		case *Histogram:
 			s.Histograms[name] = v.value()
@@ -372,6 +459,9 @@ func (s Snapshot) WriteText(w io.Writer) error {
 	for name, v := range s.Histograms {
 		lines = append(lines, fmt.Sprintf("%s count=%d sum_ns=%d p50_ns=%d p95_ns=%d p99_ns=%d",
 			name, v.Count, v.SumNs, v.P50Ns, v.P95Ns, v.P99Ns))
+	}
+	for name, labels := range s.Infos {
+		lines = append(lines, fmt.Sprintf("%s%s 1", name, formatLabels(labels)))
 	}
 	// Derived ratios, computed at render time so every consumer of the text
 	// form (METRICS verb, /metrics endpoint) sees them without bookkeeping.

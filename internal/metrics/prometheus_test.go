@@ -1,0 +1,244 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	var n int64 = 41
+	r.GaugeFunc("t.computed", func() int64 { return n })
+	n = 42
+	s := r.Snapshot()
+	if s.Gauges["t.computed"] != 42 {
+		t.Fatalf("computed gauge = %d, want 42", s.Gauges["t.computed"])
+	}
+	// Re-registration replaces the function rather than panicking — shared
+	// registries may be wired into more than one server over a process
+	// lifetime.
+	r.GaugeFunc("t.computed", func() int64 { return 7 })
+	if got := r.Snapshot().Gauges["t.computed"]; got != 7 {
+		t.Fatalf("replaced computed gauge = %d, want 7", got)
+	}
+}
+
+func TestInfoMetric(t *testing.T) {
+	r := NewRegistry()
+	r.Info("t.info", map[string]string{"version": "v1", "commit": "abc"})
+	s := r.Snapshot()
+	if s.Infos["t.info"]["version"] != "v1" || s.Infos["t.info"]["commit"] != "abc" {
+		t.Fatalf("info labels = %v", s.Infos["t.info"])
+	}
+	var sb strings.Builder
+	if err := s.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `t.info{commit="abc",version="v1"} 1`) {
+		t.Fatalf("text form missing info line:\n%s", sb.String())
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	labels := r.Snapshot().Infos["sedna.build_info"]
+	if labels == nil {
+		t.Fatal("sedna.build_info not registered")
+	}
+	for _, k := range []string{"version", "commit", "go"} {
+		if labels[k] == "" {
+			t.Fatalf("build_info missing label %q: %v", k, labels)
+		}
+	}
+	if !strings.HasPrefix(labels["go"], "go") {
+		t.Fatalf("go label = %q", labels["go"])
+	}
+}
+
+func TestRegisterUptime(t *testing.T) {
+	r := NewRegistry()
+	RegisterUptime(r, time.Now().Add(-3*time.Second))
+	if got := r.Snapshot().Gauges["server.uptime_seconds"]; got < 3 || got > 10 {
+		t.Fatalf("uptime = %d, want ~3", got)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("t.lat_ns")
+	h.Observe(time.Microsecond)      // bucket 0
+	h.Observe(10 * time.Microsecond) // higher bucket
+	h.Observe(time.Hour)             // overflow
+	v := h.value()
+	// Buckets carries the bounded buckets plus the trailing overflow
+	// ("+Inf") cumulative entry.
+	if len(v.Buckets) != histBuckets+1 {
+		t.Fatalf("buckets len = %d, want %d", len(v.Buckets), histBuckets+1)
+	}
+	prev := uint64(0)
+	for i, c := range v.Buckets {
+		if c < prev {
+			t.Fatalf("bucket %d not cumulative: %d < %d", i, c, prev)
+		}
+		prev = c
+	}
+	// The overflow observation is above every bounded bucket: the last
+	// bounded bucket holds 2, the overflow entry all 3.
+	if v.Buckets[histBuckets-1] != 2 {
+		t.Fatalf("last bounded bucket = %d, want 2", v.Buckets[histBuckets-1])
+	}
+	if v.Buckets[histBuckets] != 3 {
+		t.Fatalf("overflow bucket = %d, want 3", v.Buckets[histBuckets])
+	}
+	if v.Count != 3 {
+		t.Fatalf("count = %d, want 3", v.Count)
+	}
+	bounds := BucketBoundsNs()
+	if len(bounds) != histBuckets || bounds[0] != histBase || bounds[1] != 2*histBase {
+		t.Fatalf("unexpected bounds: %v...", bounds[:2])
+	}
+}
+
+// TestPrometheusRoundTrip renders a populated registry in the exposition
+// format and feeds it back through the validating parser.
+func TestPrometheusRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("buffer.hits").Add(30)
+	r.Counter("buffer.faults").Add(10)
+	r.Gauge("server.sessions_active").Set(2)
+	h := r.Histogram("wal.fsync_ns")
+	h.Observe(time.Microsecond)
+	h.Observe(50 * time.Millisecond)
+	h.Observe(time.Hour) // overflow bucket: +Inf must still equal count
+	RegisterBuildInfo(r)
+	RegisterUptime(r, time.Now())
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	fams, err := ParsePrometheusText(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, out)
+	}
+	checks := map[string]string{
+		"sedna_buffer_hits":            "counter",
+		"sedna_buffer_hit_ratio":       "gauge",
+		"sedna_server_sessions_active": "gauge",
+		"sedna_wal_fsync_ns":           "histogram",
+		"sedna_sedna_build_info":       "gauge",
+		"sedna_server_uptime_seconds":  "gauge",
+	}
+	for name, typ := range checks {
+		f := fams[name]
+		if f == nil {
+			t.Fatalf("family %s missing:\n%s", name, out)
+		}
+		if f.Type != typ {
+			t.Fatalf("family %s type = %q, want %q", name, f.Type, typ)
+		}
+		if f.Help == "" {
+			t.Fatalf("family %s has no HELP", name)
+		}
+	}
+	hist := fams["sedna_wal_fsync_ns"]
+	var haveInf bool
+	for _, s := range hist.Samples {
+		if s.Labels["le"] == "+Inf" {
+			haveInf = true
+			if s.Value != 3 {
+				t.Fatalf("+Inf bucket = %v, want 3", s.Value)
+			}
+		}
+	}
+	if !haveInf {
+		t.Fatal("histogram has no +Inf bucket")
+	}
+	bi := fams["sedna_sedna_build_info"]
+	if len(bi.Samples) != 1 || bi.Samples[0].Labels["go"] == "" {
+		t.Fatalf("build_info samples = %+v", bi.Samples)
+	}
+	if fams["sedna_buffer_hit_ratio"].Samples[0].Value != 0.75 {
+		t.Fatalf("hit ratio = %v", fams["sedna_buffer_hit_ratio"].Samples[0].Value)
+	}
+}
+
+// TestParsePrometheusRejects feeds the parser the malformed shapes check.sh
+// guards against.
+func TestParsePrometheusRejects(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":    "foo 1\n",
+		"HELP without text":      "# HELP foo\n# TYPE foo counter\nfoo 1\n",
+		"bad type":               "# TYPE foo widget\nfoo 1\n",
+		"bad value":              "# TYPE foo counter\nfoo abc\n",
+		"bad metric name":        "# TYPE 1foo counter\n1foo 1\n",
+		"unterminated labels":    "# TYPE foo counter\nfoo{a=\"b 1\n",
+		"unquoted label value":   "# TYPE foo counter\nfoo{a=b} 1\n",
+		"family with no samples": "# HELP foo x\n# TYPE foo counter\n",
+		"duplicate TYPE":         "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"TYPE after samples":     "# HELP foo x\nfoo 1\n",
+		"histogram no +Inf": "# TYPE foo histogram\n" +
+			`foo_bucket{le="1"} 1` + "\nfoo_sum 1\nfoo_count 1\n",
+		"histogram non-cumulative": "# TYPE foo histogram\n" +
+			`foo_bucket{le="1"} 5` + "\n" + `foo_bucket{le="2"} 3` + "\n" +
+			`foo_bucket{le="+Inf"} 5` + "\nfoo_sum 1\nfoo_count 5\n",
+		"histogram inf mismatch": "# TYPE foo histogram\n" +
+			`foo_bucket{le="+Inf"} 4` + "\nfoo_sum 1\nfoo_count 5\n",
+	}
+	for name, in := range cases {
+		if _, err := ParsePrometheusText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parser accepted malformed input:\n%s", name, in)
+		}
+	}
+	// And a small valid document with labels and escapes must pass.
+	ok := "# HELP up server liveness\n# TYPE up gauge\n" +
+		"up{host=\"a\\\"b\",path=\"c\\\\d\"} 1\n"
+	fams, err := ParsePrometheusText(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if fams["up"].Samples[0].Labels["host"] != `a"b` {
+		t.Fatalf("escape handling: %v", fams["up"].Samples[0].Labels)
+	}
+}
+
+// TestConcurrentPrometheusRender races the Prometheus exposition against
+// live writers; run with -race.
+func TestConcurrentPrometheusRender(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("race.count")
+			h := r.Histogram("race.lat_ns")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					c.Inc()
+					h.ObserveNs(123)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		var sb strings.Builder
+		if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ParsePrometheusText(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -106,6 +106,9 @@ func axisStored(env *env, n *NodeItem, axis Axis, test NodeTest, out []Item) ([]
 	case AxisFollowingSibling:
 		sib := n.D.RightSib
 		for !sib.IsNil() {
+			if err := env.ctx.checkKilled(); err != nil {
+				return nil, err
+			}
 			d, err := storage.ReadDesc(env.r, sib)
 			if err != nil {
 				return nil, err
@@ -121,6 +124,9 @@ func axisStored(env *env, n *NodeItem, axis Axis, test NodeTest, out []Item) ([]
 		var rev []Item
 		sib := n.D.LeftSib
 		for !sib.IsNil() {
+			if err := env.ctx.checkKilled(); err != nil {
+				return nil, err
+			}
 			d, err := storage.ReadDesc(env.r, sib)
 			if err != nil {
 				return nil, err
@@ -182,6 +188,9 @@ func childAxis(env *env, n *NodeItem, test NodeTest, attrs bool, out []Item) ([]
 			return nil, err
 		}
 		for {
+			if err := env.ctx.checkKilled(); err != nil {
+				return nil, err
+			}
 			if d.Parent != n.D.Handle {
 				break
 			}
@@ -206,6 +215,9 @@ func childAxis(env *env, n *NodeItem, test NodeTest, attrs bool, out []Item) ([]
 		}
 		if !ok {
 			return out, nil
+		}
+		if err := env.ctx.checkKilled(); err != nil {
+			return nil, err
 		}
 		ci := &NodeItem{Doc: n.Doc, D: c}
 		csn := n.Doc.Schema.ByID(c.SchemaID)
@@ -295,9 +307,14 @@ func (rs *rangeScan) advance(env *env) error {
 	return nil
 }
 
-// mergeStreams merges label-ordered streams into document order.
+// mergeStreams merges label-ordered streams into document order. The loop is
+// the executor's main cancellation point for long storage scans: one
+// iteration per yielded node, each starting with a killed check.
 func mergeStreams(env *env, doc *storage.Doc, streams []*rangeScan, out []Item) ([]Item, error) {
 	for {
+		if err := env.ctx.checkKilled(); err != nil {
+			return nil, err
+		}
 		best := -1
 		for i, s := range streams {
 			if s == nil || !s.ok {

@@ -287,6 +287,10 @@ func evalStepInner(s *Step, e *env, f *focus) ([]Item, error) {
 	}
 	var out []Item
 	for _, it := range input {
+		// Axis-step boundary: one killed check per context node.
+		if err := e.ctx.checkKilled(); err != nil {
+			return nil, err
+		}
 		var local []Item
 		switch n := it.(type) {
 		case *NodeItem:
@@ -323,6 +327,9 @@ func applyPredicates(items []Item, preds []Expr, e *env) ([]Item, error) {
 		var kept []Item
 		n := len(items)
 		for i, it := range items {
+			if err := e.ctx.checkKilled(); err != nil {
+				return nil, err
+			}
 			pf := &focus{item: it, pos: i + 1, size: n}
 			v, err := eval(p, e, pf)
 			if err != nil {
@@ -415,6 +422,11 @@ func evalFLWOR(fl *FLWOR, e *env, f *focus) ([]Item, error) {
 			return run(i+1, e.bind(cl.Var, seq), sink)
 		}
 		for pos, it := range seq {
+			// FLWOR iteration boundary: a KILL lands here even when each
+			// individual binding is cheap (wide cross joins).
+			if err := e.ctx.checkKilled(); err != nil {
+				return err
+			}
 			ne := e.bind(cl.Var, []Item{it})
 			if cl.PosVar != "" {
 				ne = ne.bind(cl.PosVar, []Item{num(float64(pos + 1))})

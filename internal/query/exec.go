@@ -80,8 +80,37 @@ type execShared struct {
 	lazy    map[int][]Item
 	tempOrd atomic.Uint64
 
+	// killed is the statement's cancellation token: set (from any
+	// goroutine) by Kill, observed by every worker fork at axis-step and
+	// FLWOR iteration boundaries via checkKilled.
+	killed atomic.Bool
+
 	poolOnce sync.Once
 	pool     *workerPool
+}
+
+// ErrKilled is returned by a statement terminated through ExecCtx.Kill. The
+// server maps it to a clean transaction abort.
+var ErrKilled = fmt.Errorf("query: statement killed")
+
+// Kill requests cancellation of the statement executing through this context
+// (and all its worker forks). Safe to call from any goroutine, at any time,
+// including after the statement finished (then a no-op for that statement —
+// contexts are not reused across statements by the server).
+func (ctx *ExecCtx) Kill() { ctx.shared().killed.Store(true) }
+
+// Killed reports whether Kill has been called.
+func (ctx *ExecCtx) Killed() bool { return ctx.shared().killed.Load() }
+
+// checkKilled is the executor's cancellation point: a single atomic load on
+// the hot path, returning ErrKilled once Kill has been called. Placed at
+// axis-step stream boundaries and FLWOR iteration boundaries so even a
+// statement in one long storage scan notices promptly.
+func (ctx *ExecCtx) checkKilled() error {
+	if ctx.sh != nil && ctx.sh.killed.Load() {
+		return ErrKilled
+	}
+	return nil
 }
 
 // NewExecCtx creates an execution context over an engine transaction.

@@ -235,6 +235,9 @@ func parallelStreams(e *env, doc *storage.Doc, targets []*schema.Node, anc nid.L
 		}
 		var buf []Item
 		for rs != nil && rs.ok {
+			if err := wctx.checkKilled(); err != nil {
+				return err
+			}
 			buf = append(buf, &NodeItem{Doc: doc, D: rs.cur})
 			if err := rs.advance(&we); err != nil {
 				return err
@@ -308,6 +311,9 @@ func parallelFLWOR(fl *FLWOR, e *env, f *focus, run func(i int, e *env, sink *[]
 	}
 	bindSerial := func() (bool, error) {
 		for pos, it := range seq {
+			if err := ctx.checkKilled(); err != nil {
+				return true, err
+			}
 			ne := e.bind(cl.Var, []Item{it})
 			if cl.PosVar != "" {
 				ne = ne.bind(cl.PosVar, []Item{num(float64(pos + 1))})

@@ -15,7 +15,8 @@ import (
 // indexPage lists the observability endpoints; served on "/" and on unknown
 // paths (with a 404 status) so a bare curl against the port is self-describing.
 const indexPage = `sedna observability endpoints:
-  /metrics       metrics snapshot (text/plain)
+  /metrics       metrics snapshot (text/plain; ?format=prometheus for text exposition)
+  /sessions      live sessions with per-session accounting and in-flight statements (JSON)
   /slowlog       retained slow-query traces as JSON (?n=N limits)
   /debug/pprof/  Go runtime profiles
 `
@@ -23,7 +24,11 @@ const indexPage = `sedna observability endpoints:
 // MetricsServer serves the observability endpoints over plain HTTP, for
 // scraping with curl or any monitoring agent. It exposes:
 //
-//	GET /metrics      — the sorted "name value" snapshot (text/plain)
+//	GET /metrics      — the sorted "name value" snapshot (text/plain);
+//	                    ?format=prometheus switches to the Prometheus text
+//	                    exposition format (HELP/TYPE lines, histograms)
+//	GET /sessions     — live sessions: per-session accounting + in-flight
+//	                    statements with live span trees (JSON)
 //	GET /slowlog      — retained slow-query traces, newest first (JSON)
 //	GET /debug/pprof/ — the standard Go runtime profiling handlers
 type MetricsServer struct {
@@ -44,8 +49,9 @@ func getOnly(h http.HandlerFunc) http.HandlerFunc {
 
 // ListenMetrics starts an HTTP observability endpoint on addr (e.g.
 // "127.0.0.1:5051"). Pass the same registry the database and governor report
-// into; tr (may be nil) backs the /slowlog endpoint.
-func ListenMetrics(reg *metrics.Registry, tr *trace.Tracer, addr string) (*MetricsServer, error) {
+// into; tr (may be nil) backs the /slowlog endpoint and gov (may be nil)
+// the /sessions endpoint.
+func ListenMetrics(reg *metrics.Registry, tr *trace.Tracer, gov *Governor, addr string) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -59,8 +65,26 @@ func ListenMetrics(reg *metrics.Registry, tr *trace.Tracer, addr string) (*Metri
 		fmt.Fprint(w, indexPage)
 	}))
 	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = reg.Snapshot().WriteText(w)
+		switch format := r.URL.Query().Get("format"); format {
+		case "", "text":
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = reg.Snapshot().WriteText(w)
+		case "prometheus":
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = reg.Snapshot().WritePrometheus(w)
+		default:
+			http.Error(w, fmt.Sprintf("metrics: unknown format %q", format), http.StatusBadRequest)
+		}
+	}))
+	mux.HandleFunc("/sessions", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		infos := []SessionInfo{}
+		if gov != nil {
+			infos = gov.SessionInfos()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(infos)
 	}))
 	mux.HandleFunc("/slowlog", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		traces := []*trace.Trace{}

@@ -70,7 +70,7 @@ func TestMetricsHTTPEndpoint(t *testing.T) {
 	defer c.Close()
 	execSome(t, c)
 
-	ms, err := server.ListenMetrics(srv.Governor().Metrics(), srv.Governor().Tracer(), "127.0.0.1:0")
+	ms, err := server.ListenMetrics(srv.Governor().Metrics(), srv.Governor().Tracer(), srv.Governor(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

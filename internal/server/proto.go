@@ -31,6 +31,9 @@ const (
 	MsgReplicate  = wire.MsgReplicate
 	MsgReplStatus = wire.MsgReplStatus
 	MsgPromote    = wire.MsgPromote
+	MsgSessions   = wire.MsgSessions
+	MsgKill       = wire.MsgKill
+	MsgCluster    = wire.MsgCluster
 )
 
 // Message types (server → client).

@@ -45,6 +45,7 @@ type govMetrics struct {
 	txnsStarted *metrics.Counter
 	commands    *metrics.Counter
 	errors      *metrics.Counter
+	kills       *metrics.Counter
 	bytesIn     *metrics.Counter
 	bytesOut    *metrics.Counter
 }
@@ -57,19 +58,24 @@ func bindGovMetrics(reg *metrics.Registry) govMetrics {
 		txnsStarted: reg.Counter("server.txns_started"),
 		commands:    reg.Counter("server.commands"),
 		errors:      reg.Counter("server.errors"),
+		kills:       reg.Counter("server.kills"),
 		bytesIn:     reg.Counter("server.bytes_in"),
 		bytesOut:    reg.Counter("server.bytes_out"),
 	}
 }
 
 // NewGovernor creates a governor over an open database; it reports into the
-// database's metrics registry under the "server." family.
+// database's metrics registry under the "server." family, which also gains
+// the process-level build/uptime gauges both expositions serve.
 func NewGovernor(db *core.Database) *Governor {
+	reg := db.Metrics()
+	metrics.RegisterBuildInfo(reg)
+	metrics.RegisterUptime(reg, time.Now())
 	return &Governor{
 		db:       db,
 		primary:  repl.NewPrimary(db),
 		sessions: make(map[uint64]*Session),
-		met:      bindGovMetrics(db.Metrics()),
+		met:      bindGovMetrics(reg),
 	}
 }
 
@@ -121,16 +127,35 @@ func (g *Governor) unregister(s *Session) {
 }
 
 // Session is the connection component: it encapsulates one client session
-// and creates a transaction component per database transaction (§3).
+// and creates a transaction component per database transaction (§3). The
+// lifecycle methods (Begin/Commit/Rollback/Execute/Close) run on the
+// connection's goroutine only; Info and kill are called from other
+// goroutines and touch only the locked/atomic fields.
 type Session struct {
-	id  uint64
-	gov *Governor
-	tx  *core.Tx // open explicit transaction, if any
+	id        uint64
+	gov       *Governor
+	client    string    // remote address, "" for embedded sessions
+	connected time.Time // registration time
+	tx        *core.Tx  // open explicit transaction, if any
+	txOpen    atomic.Bool
+
+	statsMu sync.Mutex
+	stats   SessionStats
+
+	curMu   sync.Mutex
+	stmtOrd uint64     // per-session statement ordinal, counts from 1
+	cur     *stmtState // in-flight statement, nil when idle
 }
 
 // NewSession registers a fresh session with the governor.
 func (g *Governor) NewSession() *Session {
-	s := &Session{gov: g}
+	return g.NewSessionFor("")
+}
+
+// NewSessionFor registers a fresh session carrying the client's remote
+// address for introspection and slowlog attribution.
+func (g *Governor) NewSessionFor(client string) *Session {
+	s := &Session{gov: g, client: client, connected: time.Now()}
 	g.register(s)
 	return s
 }
@@ -140,6 +165,7 @@ func (s *Session) Close() {
 	if s.tx != nil {
 		s.tx.Rollback()
 		s.tx = nil
+		s.txOpen.Store(false)
 	}
 	s.gov.unregister(s)
 }
@@ -154,6 +180,7 @@ func (s *Session) Begin(readonly bool) error {
 		return err
 	}
 	s.tx = tx
+	s.txOpen.Store(true)
 	return nil
 }
 
@@ -172,6 +199,7 @@ func (s *Session) Commit() error {
 	}
 	err := s.tx.Commit()
 	s.tx = nil
+	s.txOpen.Store(false)
 	return err
 }
 
@@ -182,6 +210,7 @@ func (s *Session) Rollback() error {
 	}
 	err := s.tx.Rollback()
 	s.tx = nil
+	s.txOpen.Store(false)
 	return err
 }
 
@@ -210,26 +239,34 @@ func (s *Session) Execute(src string) (*Response, error) {
 	ctx.StartTrace(st.Source)
 	ctx.RecordParse(parseNs)
 	defer ctx.FinishTrace()
+	// Register the statement for introspection and KILL; every exit path
+	// below unregisters it and settles the accounting window.
+	base := s.beginStatement(st.Source, ctx)
+	nodes := 0
+	defer func() { s.endStatement(base, nodes, err) }()
 	res, err := query.ExecuteStatement(ctx, st)
-	if err != nil {
-		if auto {
-			tx.Rollback()
+	if err == nil {
+		var sb strings.Builder
+		if serr := res.Serialize(&sb); serr != nil {
+			err = serr
+		} else {
+			nodes = len(res.Items) + res.Updated
+			if auto {
+				if err = tx.Commit(); err != nil {
+					return nil, err
+				}
+			}
+			return &Response{Data: sb.String(), Updated: res.Updated, Message: res.Message}, nil
 		}
-		return nil, err
-	}
-	var sb strings.Builder
-	if err := res.Serialize(&sb); err != nil {
-		if auto {
-			tx.Rollback()
-		}
-		return nil, err
 	}
 	if auto {
-		if err := tx.Commit(); err != nil {
-			return nil, err
-		}
+		tx.Rollback()
+	} else if errors.Is(err, query.ErrKilled) {
+		// A killed statement aborts its explicit transaction too: partial
+		// update effects must not survive to a later COMMIT.
+		s.Rollback()
 	}
-	return &Response{Data: sb.String(), Updated: res.Updated, Message: res.Message}, nil
+	return nil, err
 }
 
 // slowLog serves a MsgSlowLog request: optionally retune the slow-query
@@ -396,7 +433,7 @@ func (c *countingConn) Write(p []byte) (int, error) {
 func (s *Server) handle(rawConn net.Conn) {
 	defer rawConn.Close()
 	conn := &countingConn{Conn: rawConn, in: s.gov.met.bytesIn, out: s.gov.met.bytesOut}
-	sess := s.gov.NewSession()
+	sess := s.gov.NewSessionFor(rawConn.RemoteAddr().String())
 	defer sess.Close()
 
 	for {
@@ -448,6 +485,12 @@ func (s *Server) handle(rawConn net.Conn) {
 			resp, rerr = s.gov.replStatus()
 		case MsgPromote:
 			resp, rerr = s.gov.promote()
+		case MsgSessions:
+			resp, rerr = s.gov.sessionsResp()
+		case MsgKill:
+			resp, rerr = s.gov.killResp(&req)
+		case MsgCluster:
+			resp, rerr = s.gov.clusterResp()
 		case MsgQuit:
 			WriteMsg(conn, MsgOK, &Response{Message: "bye"})
 			return
@@ -462,7 +505,8 @@ func (s *Server) handle(rawConn net.Conn) {
 			continue
 		}
 		out := byte(MsgOK)
-		if typ == MsgExecute || typ == MsgMetrics || typ == MsgSlowLog || typ == MsgWorkers || typ == MsgPrefetch || typ == MsgReplStatus {
+		switch typ {
+		case MsgExecute, MsgMetrics, MsgSlowLog, MsgWorkers, MsgPrefetch, MsgReplStatus, MsgSessions, MsgCluster:
 			out = MsgResult
 		}
 		if err := WriteMsg(conn, out, resp); err != nil {

@@ -83,7 +83,7 @@ func TestSlowLogEndToEnd(t *testing.T) {
 	}
 
 	// Same traces over HTTP.
-	ms, err := server.ListenMetrics(srv.Governor().Metrics(), srv.Governor().Tracer(), "127.0.0.1:0")
+	ms, err := server.ListenMetrics(srv.Governor().Metrics(), srv.Governor().Tracer(), srv.Governor(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestSlowLogEndToEnd(t *testing.T) {
 // unknown paths and the pprof mount.
 func TestHTTPEndpointHygiene(t *testing.T) {
 	srv := startServer(t)
-	ms, err := server.ListenMetrics(srv.Governor().Metrics(), srv.Governor().Tracer(), "127.0.0.1:0")
+	ms, err := server.ListenMetrics(srv.Governor().Metrics(), srv.Governor().Tracer(), srv.Governor(), "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}

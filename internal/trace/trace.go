@@ -98,6 +98,28 @@ func (s *Span) End() {
 	s.mu.Unlock()
 }
 
+// Snapshot deep-copies the span subtree as it stands right now, for live
+// introspection of an in-flight statement. Safe to call concurrently with
+// the statement's own mutators: each span's fields are copied under its
+// mutex. In-flight spans report their duration so far.
+func (s *Span) Snapshot() *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	c := &Span{Name: s.Name, StartNs: s.StartNs, DurNs: s.DurNs}
+	if !s.ended && !s.start.IsZero() {
+		c.DurNs = time.Since(s.start).Nanoseconds()
+	}
+	c.Attrs = append([]Attr(nil), s.Attrs...)
+	children := append([]*Span(nil), s.Children...)
+	s.mu.Unlock()
+	for _, ch := range children {
+		c.Children = append(c.Children, ch.Snapshot())
+	}
+	return c
+}
+
 // Parent returns the enclosing span (nil for the root).
 func (s *Span) Parent() *Span {
 	if s == nil {
@@ -162,7 +184,24 @@ type Trace struct {
 	Counters    map[string]uint64 `json:"counters,omitempty"`
 	Root        *Span             `json:"root"`
 
+	// SessionID and Client identify who ran the statement (the wire session
+	// id and the client's remote address); zero/empty for statements run
+	// outside a server session. Set by the session before the trace can
+	// finish, so slowlog lines join against \sessions output.
+	SessionID uint64 `json:"session_id,omitempty"`
+	Client    string `json:"client,omitempty"`
+
 	base []uint64 // watch-counter values at Start, indexed like Tracer.watch
+}
+
+// SetOrigin attributes the trace to a session and client address. Must be
+// called by the statement's coordinating goroutine before Finish.
+func (tr *Trace) SetOrigin(sessionID uint64, client string) {
+	if tr == nil {
+		return
+	}
+	tr.SessionID = sessionID
+	tr.Client = client
 }
 
 // ringSize bounds the recent and slow trace rings.

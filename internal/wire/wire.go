@@ -32,6 +32,9 @@ const (
 	MsgReplicate  = 11 // switch the connection to a replication stream
 	MsgReplStatus = 12 // report replication topology and lag
 	MsgPromote    = 13 // promote a replica to a writable primary
+	MsgSessions   = 14 // list live sessions with per-session accounting
+	MsgKill       = 15 // cancel another session's in-flight statement
+	MsgCluster    = 16 // merged topology: local sessions + per-replica lag
 )
 
 // Message types (server → client).
@@ -99,6 +102,13 @@ type Request struct {
 	// LSN, reported in the Handshake).
 	FromLSN  uint64 `json:"from_lsn,omitempty"`
 	NeedSeed bool   `json:"need_seed,omitempty"`
+
+	// MsgKill: cancel the target session's in-flight statement. When
+	// KillStatement is non-zero the kill only lands if that statement (by
+	// per-session ordinal, as reported by SESSIONS) is still the one
+	// running — a fence against killing an innocent successor.
+	KillSession   uint64 `json:"kill_session,omitempty"`
+	KillStatement uint64 `json:"kill_statement,omitempty"`
 }
 
 // Response is a server message payload.

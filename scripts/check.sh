@@ -34,4 +34,7 @@ go test -bench=. -benchtime=1x -run '^$' .
 echo "== replication smoke (E20: seed, stream, storm, converge) =="
 go run ./cmd/sedna-bench -run E20
 
+echo "== introspection smoke (E21: sessions, KILL of a long query, Prometheus round-trip) =="
+go run ./cmd/sedna-bench -run E21
+
 echo "check.sh: all green"
