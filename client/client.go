@@ -160,6 +160,26 @@ func (c *Conn) SetPrefetchDepth(n int) (int, error) {
 	return eff, nil
 }
 
+// Resident reports whether the server's compressed in-memory resident mode
+// is on.
+func (c *Conn) Resident() (bool, error) {
+	resp, err := c.roundTrip(server.MsgResident, server.Request{})
+	if err != nil {
+		return false, err
+	}
+	return resp.Data == "on", nil
+}
+
+// SetResident switches the server's compressed in-memory resident mode on
+// or off at runtime and returns the resulting effective state.
+func (c *Conn) SetResident(on bool) (bool, error) {
+	resp, err := c.roundTrip(server.MsgResident, server.Request{SetResident: true, Resident: on})
+	if err != nil {
+		return false, err
+	}
+	return resp.Data == "on", nil
+}
+
 // ReplStatus fetches the server's replication topology: its role, every
 // connected downstream replica with its lag in log bytes, and — on a
 // replica — the state of its own stream from the primary.

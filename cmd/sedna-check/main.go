@@ -111,6 +111,9 @@ func printMetricsSummary(db *core.Database) {
 	if issued := s.Counters["buffer.prefetch_issued"]; issued > 0 {
 		row("prefetch", "buffer.prefetch_issued", "buffer.prefetch_hits", "buffer.prefetch_wasted", "buffer.prefetch_dropped")
 	}
+	if s.Counters["resident.builds"] > 0 || s.Counters["resident.hits"] > 0 {
+		row("resident", "resident.builds", "resident.hits", "resident.fallbacks", "resident.invalidations", "resident.evictions", "resident.bytes")
+	}
 	row("pagefile", "pagefile.reads", "pagefile.writes", "pagefile.extends")
 	row("wal", "wal.appends", "wal.fsyncs", "wal.fsync_ns")
 	row("txn", "txn.begins", "txn.begins_readonly", "txn.commits", "txn.aborts")

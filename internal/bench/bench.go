@@ -75,6 +75,14 @@ func OpenDBPrefetch(dir string, reg *metrics.Registry, depth int) (*sedna.DB, er
 	return sedna.Open(dir, &sedna.Options{NoSync: true, BufferPages: 8192, Metrics: reg, PrefetchDepth: depth})
 }
 
+// OpenDBResident reopens a database directory with the compressed in-memory
+// resident mode on (budget 0 = default 256 MiB). The buffer pool starts
+// empty, so the first statement per document pays the resident build against
+// a cold cache — the E22 measurement setup.
+func OpenDBResident(dir string, reg *metrics.Registry, budget int64) (*sedna.DB, error) {
+	return sedna.Open(dir, &sedna.Options{NoSync: true, BufferPages: 8192, Metrics: reg, Resident: true, ResidentBudget: budget})
+}
+
 // QueryPrefetch runs a query under an explicit per-statement chain-readahead
 // depth (> 0 enables readahead regardless of the database default, < 0
 // forces it off) and returns the result data plus executor stats.

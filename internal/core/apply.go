@@ -101,6 +101,10 @@ func (db *Database) ApplyReplicated(recs []*wal.Record, restart, commit uint64) 
 	if err != nil {
 		return err
 	}
+	// Physical page applies change document content without touching the
+	// metadata versions resident caching validates against: have the commit
+	// raise the resident cache's barrier.
+	t.applyBarrier = true
 	for _, r := range recs {
 		if err := applyRecord(t, r); err != nil {
 			t.Rollback()
@@ -251,6 +255,7 @@ func (db *Database) Promote() error {
 		// Republish so new snapshot readers see the corrected counters.
 		db.pubMu.Lock()
 		db.docVers.publish(name, db.txm.CommitTS(), cloneDoc(doc), db.txm.MinActiveSnapshot())
+		db.resCache.Invalidate(name)
 		db.pubMu.Unlock()
 	}
 	db.replica.Store(false)

@@ -14,6 +14,7 @@ import (
 	"sedna/internal/lock"
 	"sedna/internal/metrics"
 	"sedna/internal/pagefile"
+	"sedna/internal/resident"
 	"sedna/internal/sas"
 	"sedna/internal/schema"
 	"sedna/internal/storage"
@@ -62,6 +63,15 @@ type Options struct {
 	// transactions (ErrReplicaReadOnly) and changes arrive only through
 	// ApplyReplicated until Promote lifts the gate.
 	Replica bool
+	// Resident enables the compressed in-memory resident mode: read-only
+	// statements over documents that fit the byte budget execute against a
+	// cached structural array instead of the paged block chains. Updates
+	// invalidate the cached copy on commit, so results stay byte-identical.
+	// Also settable at runtime via Database.SetResident.
+	Resident bool
+	// ResidentBudget caps the total bytes of resident representations across
+	// documents (LRU-evicted beyond it). 0 uses resident.DefaultBudget.
+	ResidentBudget int64
 }
 
 // Database is an open Sedna database: one directory holding the data file,
@@ -92,6 +102,12 @@ type Database struct {
 	// prefetchDepth is the default chain-readahead depth (0 = off), read
 	// at the start of every statement and settable at runtime.
 	prefetchDepth atomic.Int64
+
+	// residentOn gates the resident mode; resCache holds the per-document
+	// resident representations (always allocated so metrics and runtime
+	// toggling work even when the mode starts off).
+	residentOn atomic.Bool
+	resCache   *resident.Cache
 
 	// quiesce is held shared by every statement-executing transaction and
 	// exclusively by checkpoint/backup/close.
@@ -158,6 +174,8 @@ func Open(dir string, opts Options) (*Database, error) {
 	db.replica.Store(opts.Replica)
 	db.SetQueryWorkers(opts.QueryWorkers)
 	db.SetPrefetchDepth(opts.PrefetchDepth)
+	db.resCache = resident.NewCache(opts.ResidentBudget, reg)
+	db.SetResident(opts.Resident)
 
 	db.tracer = trace.New(reg)
 	db.tracer.SetEnabled(opts.TraceEnabled)
@@ -262,6 +280,23 @@ func (db *Database) SetPrefetchDepth(n int) {
 // PrefetchDepth returns the default chain-readahead depth (0 = off).
 func (db *Database) PrefetchDepth() int { return int(db.prefetchDepth.Load()) }
 
+// SetResident switches the resident mode at runtime. Turning it off flushes
+// the cache; statements already holding a resident representation finish on
+// it (the representations are immutable).
+func (db *Database) SetResident(on bool) {
+	db.residentOn.Store(on)
+	if !on {
+		db.resCache.Flush()
+	}
+}
+
+// Resident reports whether the resident mode is on.
+func (db *Database) Resident() bool { return db.residentOn.Load() }
+
+// ResidentCache exposes the resident-representation cache (tools, tests and
+// benchmarks).
+func (db *Database) ResidentCache() *resident.Cache { return db.resCache }
+
 // Buffer exposes the buffer manager (benchmarks and tools).
 func (db *Database) Buffer() *buffer.Manager { return db.buf }
 
@@ -352,6 +387,12 @@ type Tx struct {
 	done bool
 
 	pendingDrops []string // documents dropped by this transaction
+
+	// applyBarrier marks a replicated-apply transaction: its physical page
+	// writes change content without touching document metadata, so commit
+	// must raise the resident cache's barrier instead of relying on
+	// per-document invalidation.
+	applyBarrier bool
 }
 
 // Begin starts an update transaction. On a replica it fails with
@@ -404,9 +445,17 @@ func (t *Tx) Commit() error {
 			minSnap := t.db.txm.MinActiveSnapshot()
 			for i, doc := range touched {
 				t.db.docVers.publish(doc.Name, cts, clones[i], minSnap)
+				t.db.resCache.Invalidate(doc.Name)
 			}
 			for _, name := range t.pendingDrops {
 				t.db.docVers.publish(name, cts, nil, minSnap)
+				t.db.resCache.Invalidate(name)
+			}
+			if t.applyBarrier {
+				// Still under pubMu: no reader can begin between the apply
+				// commit and the cache flush, so none can cache stale content
+				// under a pre-apply snapshot.
+				t.db.resCache.Barrier(cts)
 			}
 		}
 		t.db.pubMu.Unlock()
@@ -497,6 +546,26 @@ func (t *Tx) DropDocument(name string) error {
 	t.Defer(func() { t.db.catalog.Put(doc) })
 	t.pendingDrops = append(t.pendingDrops, name)
 	return nil
+}
+
+// ResidentFor returns the resident representation of doc for this
+// transaction's snapshot, or nil when the document must be served paged:
+// resident mode off, update transaction, unversioned document, build
+// failure, budget overflow, or a replication barrier. The cache builds at
+// most once per committed version and validates shared representations by
+// commit timestamp.
+func (t *Tx) ResidentFor(doc *storage.Doc) *resident.Rep {
+	if !t.db.Resident() || !t.ReadOnly() {
+		return nil
+	}
+	snap := t.SnapshotTS()
+	_, vts, ok := t.db.docVers.versionAt(doc.Name, snap)
+	if !ok {
+		return nil
+	}
+	return t.db.resCache.Acquire(doc.Name, vts, snap, func() (*resident.Rep, error) {
+		return resident.Build(t.Tx, doc, vts, snap)
+	})
 }
 
 // Document resolves a document by name. Update transactions use the live

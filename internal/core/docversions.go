@@ -53,21 +53,31 @@ func (s *docVersionStore) publish(name string, ts uint64, doc *storage.Doc, minS
 
 // at returns the document metadata visible to a snapshot at ts.
 func (s *docVersionStore) at(name string, ts uint64) (*storage.Doc, bool) {
+	doc, _, ok := s.versionAt(name, ts)
+	return doc, ok
+}
+
+// versionAt returns the document metadata visible to a snapshot at ts
+// together with the commit timestamp of that version — the key resident
+// caching validates against.
+func (s *docVersionStore) versionAt(name string, ts uint64) (*storage.Doc, uint64, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	versions := s.byName[name]
 	var best *storage.Doc
+	var bestTS uint64
 	found := false
 	for i := range versions {
 		if versions[i].ts <= ts {
 			best = versions[i].doc
+			bestTS = versions[i].ts
 			found = true
 		}
 	}
 	if !found || best == nil {
-		return nil, false
+		return nil, 0, false
 	}
-	return best, true
+	return best, bestTS, true
 }
 
 // cloneDoc makes an immutable metadata copy: the schema tree is rebuilt

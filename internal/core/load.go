@@ -121,22 +121,47 @@ func xmlName(n xml.Name) string {
 	return n.Local
 }
 
+// NodeAccess abstracts the two node reads serialization needs — children in
+// document order and text values — so the same serializer runs over paged
+// storage and over a resident representation, keeping output byte-identical
+// by construction.
+type NodeAccess interface {
+	Children(d *storage.Desc) ([]storage.Desc, error)
+	Text(d *storage.Desc) ([]byte, error)
+}
+
+// pagedAccess is the block-chain NodeAccess.
+type pagedAccess struct{ r storage.Reader }
+
+func (a pagedAccess) Children(d *storage.Desc) ([]storage.Desc, error) {
+	return collectChildren(a.r, d)
+}
+
+func (a pagedAccess) Text(d *storage.Desc) ([]byte, error) {
+	return storage.Text(a.r, d)
+}
+
 // SerializeNode writes the XML serialization of the subtree rooted at the
 // node (given by descriptor) to w. Reader may be any transaction kind.
 func SerializeNode(r storage.Reader, doc *storage.Doc, d storage.Desc, w io.Writer) error {
+	return SerializeNodeVia(pagedAccess{r}, doc, d, w)
+}
+
+// SerializeNodeVia is SerializeNode over any NodeAccess backend.
+func SerializeNodeVia(acc NodeAccess, doc *storage.Doc, d storage.Desc, w io.Writer) error {
 	sn := doc.Schema.ByID(d.SchemaID)
 	if sn == nil {
 		return fmt.Errorf("core: serialize: unknown schema node %d", d.SchemaID)
 	}
 	switch sn.Kind {
 	case schema.KindDocument:
-		return serializeChildren(r, doc, d, w)
+		return serializeChildren(acc, doc, d, w)
 	case schema.KindElement:
 		if _, err := io.WriteString(w, "<"+sn.Name); err != nil {
 			return err
 		}
 		// Attributes first, then content.
-		content, err := collectChildren(r, &d)
+		content, err := acc.Children(&d)
 		if err != nil {
 			return err
 		}
@@ -144,7 +169,7 @@ func SerializeNode(r storage.Reader, doc *storage.Doc, d storage.Desc, w io.Writ
 		for _, c := range content {
 			csn := doc.Schema.ByID(c.SchemaID)
 			if csn.Kind == schema.KindAttribute {
-				val, err := storage.Text(r, &c)
+				val, err := acc.Text(&c)
 				if err != nil {
 					return err
 				}
@@ -166,35 +191,35 @@ func SerializeNode(r storage.Reader, doc *storage.Doc, d storage.Desc, w io.Writ
 			if doc.Schema.ByID(c.SchemaID).Kind == schema.KindAttribute {
 				continue
 			}
-			if err := SerializeNode(r, doc, c, w); err != nil {
+			if err := SerializeNodeVia(acc, doc, c, w); err != nil {
 				return err
 			}
 		}
 		_, err = io.WriteString(w, "</"+sn.Name+">")
 		return err
 	case schema.KindText:
-		val, err := storage.Text(r, &d)
+		val, err := acc.Text(&d)
 		if err != nil {
 			return err
 		}
 		return xml.EscapeText(w, val)
 	case schema.KindAttribute:
 		// A bare attribute serializes as its string value.
-		val, err := storage.Text(r, &d)
+		val, err := acc.Text(&d)
 		if err != nil {
 			return err
 		}
 		_, err = w.Write(val)
 		return err
 	case schema.KindComment:
-		val, err := storage.Text(r, &d)
+		val, err := acc.Text(&d)
 		if err != nil {
 			return err
 		}
 		_, err = fmt.Fprintf(w, "<!--%s-->", val)
 		return err
 	case schema.KindPI:
-		val, err := storage.Text(r, &d)
+		val, err := acc.Text(&d)
 		if err != nil {
 			return err
 		}
@@ -205,13 +230,13 @@ func SerializeNode(r storage.Reader, doc *storage.Doc, d storage.Desc, w io.Writ
 	}
 }
 
-func serializeChildren(r storage.Reader, doc *storage.Doc, d storage.Desc, w io.Writer) error {
-	kids, err := collectChildren(r, &d)
+func serializeChildren(acc NodeAccess, doc *storage.Doc, d storage.Desc, w io.Writer) error {
+	kids, err := acc.Children(&d)
 	if err != nil {
 		return err
 	}
 	for _, c := range kids {
-		if err := SerializeNode(r, doc, c, w); err != nil {
+		if err := SerializeNodeVia(acc, doc, c, w); err != nil {
 			return err
 		}
 	}

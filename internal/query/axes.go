@@ -50,20 +50,22 @@ func attributeTest(test NodeTest) NodeTest {
 }
 
 // axisStored evaluates an axis step for one stored context node, appending
-// matches in document order.
+// matches in document order. All storage access routes through the
+// document's store, so the same code serves paged and resident backends.
 func axisStored(env *env, n *NodeItem, axis Axis, test NodeTest, out []Item) ([]Item, error) {
+	st := env.storeFor(n.Doc)
 	switch axis {
 	case AxisChild:
-		return childAxis(env, n, test, false, out)
+		return childAxis(env, st, n, test, false, out)
 	case AxisAttribute:
-		return childAxis(env, n, attributeTest(test), true, out)
+		return childAxis(env, st, n, attributeTest(test), true, out)
 	case AxisSelf:
 		if matchesStoredNode(n, test) {
 			out = append(out, n)
 		}
 		return out, nil
 	case AxisParent:
-		p, ok, err := storage.ParentOf(env.r, &n.D)
+		p, ok, err := st.parent(env, n.Doc, &n.D)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +83,7 @@ func axisStored(env *env, n *NodeItem, axis Axis, test NodeTest, out []Item) ([]
 			chain = append(chain, n)
 		}
 		for {
-			p, ok, err := storage.ParentOf(env.r, &cur.D)
+			p, ok, err := st.parent(env, n.Doc, &cur.D)
 			if err != nil {
 				return nil, err
 			}
@@ -100,42 +102,47 @@ func axisStored(env *env, n *NodeItem, axis Axis, test NodeTest, out []Item) ([]
 		}
 		return out, nil
 	case AxisDescendant:
-		return descendantAxis(env, n, test, false, out)
+		return descendantAxis(env, st, n, test, false, out)
 	case AxisDescendantOrSelf:
-		return descendantAxis(env, n, test, true, out)
+		return descendantAxis(env, st, n, test, true, out)
 	case AxisFollowingSibling:
-		sib := n.D.RightSib
-		for !sib.IsNil() {
+		cur := n.D
+		for {
 			if err := env.ctx.checkKilled(); err != nil {
 				return nil, err
 			}
-			d, err := storage.ReadDesc(env.r, sib)
+			d, ok, err := st.nextSibling(env, n.Doc, &cur)
 			if err != nil {
 				return nil, err
+			}
+			if !ok {
+				return out, nil
 			}
 			si := &NodeItem{Doc: n.Doc, D: d}
 			if matchesStoredNode(si, test) {
 				out = append(out, si)
 			}
-			sib = d.RightSib
+			cur = d
 		}
-		return out, nil
 	case AxisPrecedingSibling:
 		var rev []Item
-		sib := n.D.LeftSib
-		for !sib.IsNil() {
+		cur := n.D
+		for {
 			if err := env.ctx.checkKilled(); err != nil {
 				return nil, err
 			}
-			d, err := storage.ReadDesc(env.r, sib)
+			d, ok, err := st.prevSibling(env, n.Doc, &cur)
 			if err != nil {
 				return nil, err
+			}
+			if !ok {
+				break
 			}
 			si := &NodeItem{Doc: n.Doc, D: d}
 			if matchesStoredNode(si, test) {
 				rev = append(rev, si)
 			}
-			sib = d.LeftSib
+			cur = d
 		}
 		for i := len(rev) - 1; i >= 0; i-- {
 			out = append(out, rev[i])
@@ -153,9 +160,9 @@ func matchesStoredNode(n *NodeItem, test NodeTest) bool {
 
 // childAxis returns the children of n matching test in document order. For
 // a specific name/kind test it touches only the matching schema node's
-// children via the per-schema first-child slot; for wildcard tests it walks
-// the sibling chain.
-func childAxis(env *env, n *NodeItem, test NodeTest, attrs bool, out []Item) ([]Item, error) {
+// children (per-schema slot chain or resident index range); for wildcard
+// tests it walks the sibling chain.
+func childAxis(env *env, st docStore, n *NodeItem, test NodeTest, attrs bool, out []Item) ([]Item, error) {
 	sn := n.Doc.Schema.ByID(n.D.SchemaID)
 	if sn == nil {
 		return nil, fmt.Errorf("query: unknown schema node %d", n.D.SchemaID)
@@ -175,70 +182,40 @@ func childAxis(env *env, n *NodeItem, test NodeTest, attrs bool, out []Item) ([]
 		return out, nil
 	}
 	if len(matched) == 1 {
-		// One schema child: follow its slot and the in-list chain while the
-		// parent stays the same (children of one parent are contiguous in
-		// the schema node's list).
-		slot := sn.ChildIndex(matched[0])
-		first := n.D.ChildAtSlot(slot)
-		if first.IsNil() {
-			return out, nil
-		}
-		d, err := storage.ReadDesc(env.r, first)
+		kids, err := st.childrenOfSchema(env, n.Doc, &n.D, sn, matched[0])
 		if err != nil {
 			return nil, err
 		}
-		for {
-			if err := env.ctx.checkKilled(); err != nil {
-				return nil, err
-			}
-			if d.Parent != n.D.Handle {
-				break
-			}
-			out = append(out, &NodeItem{Doc: n.Doc, D: d})
-			nd, ok, err := storage.NextInList(env.r, &d)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				break
-			}
-			d = nd
+		for i := range kids {
+			out = append(out, &NodeItem{Doc: n.Doc, D: kids[i]})
 		}
 		return out, nil
 	}
 	// Several schema children match (wildcard): walk the sibling chain for
 	// global document order.
-	c, ok, err := storage.FirstChild(env.r, &n.D)
-	for {
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return out, nil
-		}
-		if err := env.ctx.checkKilled(); err != nil {
-			return nil, err
-		}
-		ci := &NodeItem{Doc: n.Doc, D: c}
-		csn := n.Doc.Schema.ByID(c.SchemaID)
-		if csn != nil {
-			isAttr := csn.Kind == schema.KindAttribute
-			if isAttr == attrs && matchesSchema(csn, test) {
-				out = append(out, ci)
-			}
-		}
-		if c.RightSib.IsNil() {
-			return out, nil
-		}
-		c, err = storage.ReadDesc(env.r, c.RightSib)
+	kids, err := st.children(env, n.Doc, &n.D)
+	if err != nil {
+		return nil, err
 	}
+	for i := range kids {
+		csn := n.Doc.Schema.ByID(kids[i].SchemaID)
+		if csn == nil {
+			continue
+		}
+		isAttr := csn.Kind == schema.KindAttribute
+		if isAttr == attrs && matchesSchema(csn, test) {
+			out = append(out, &NodeItem{Doc: n.Doc, D: kids[i]})
+		}
+	}
+	return out, nil
 }
 
 // descendantAxis evaluates descendant(-or-self) with the schema-driven
 // strategy: matching schema nodes are found in main memory, then only their
-// block lists are scanned, restricted to the label range of the context
-// node; per-schema streams are merged by document order.
-func descendantAxis(env *env, n *NodeItem, test NodeTest, orSelf bool, out []Item) ([]Item, error) {
+// per-schema streams are scanned (block lists range-restricted by the
+// context label, or resident index-list slices) and merged by document
+// order.
+func descendantAxis(env *env, st docStore, n *NodeItem, test NodeTest, orSelf bool, out []Item) ([]Item, error) {
 	sn := n.Doc.Schema.ByID(n.D.SchemaID)
 	if sn == nil {
 		return nil, fmt.Errorf("query: unknown schema node %d", n.D.SchemaID)
@@ -252,19 +229,19 @@ func descendantAxis(env *env, n *NodeItem, test NodeTest, orSelf bool, out []Ite
 	if len(matched) == 0 {
 		return out, nil
 	}
-	if merged, ok, err := parallelStreams(env, n.Doc, matched, n.D.Label, out); err != nil {
+	if merged, ok, err := parallelStreams(env, n.Doc, matched, st, &n.D, out); err != nil {
 		return nil, err
 	} else if ok {
 		return merged, nil
 	}
-	streams := make([]*rangeScan, 0, len(matched))
+	streams := make([]descStream, 0, len(matched))
 	for _, m := range matched {
-		rs, err := newRangeScan(env, n.Doc, m, n.D.Label)
+		s, err := st.descendantScan(env, n.Doc, m, &n.D)
 		if err != nil {
 			return nil, err
 		}
-		if rs != nil {
-			streams = append(streams, rs)
+		if s != nil && s.valid() {
+			streams = append(streams, s)
 		}
 	}
 	return mergeStreams(env, n.Doc, streams, out)
@@ -307,27 +284,31 @@ func (rs *rangeScan) advance(env *env) error {
 	return nil
 }
 
+// rangeScan is the paged descStream.
+func (rs *rangeScan) valid() bool         { return rs.ok }
+func (rs *rangeScan) desc() *storage.Desc { return &rs.cur }
+
 // mergeStreams merges label-ordered streams into document order. The loop is
 // the executor's main cancellation point for long storage scans: one
 // iteration per yielded node, each starting with a killed check.
-func mergeStreams(env *env, doc *storage.Doc, streams []*rangeScan, out []Item) ([]Item, error) {
+func mergeStreams(env *env, doc *storage.Doc, streams []descStream, out []Item) ([]Item, error) {
 	for {
 		if err := env.ctx.checkKilled(); err != nil {
 			return nil, err
 		}
 		best := -1
 		for i, s := range streams {
-			if s == nil || !s.ok {
+			if s == nil || !s.valid() {
 				continue
 			}
-			if best < 0 || nid.Compare(s.cur.Label, streams[best].cur.Label) < 0 {
+			if best < 0 || nid.Compare(s.desc().Label, streams[best].desc().Label) < 0 {
 				best = i
 			}
 		}
 		if best < 0 {
 			return out, nil
 		}
-		d := streams[best].cur
+		d := *streams[best].desc()
 		out = append(out, &NodeItem{Doc: doc, D: d})
 		if err := streams[best].advance(env); err != nil {
 			return nil, err

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"sedna/internal/schema"
-	"sedna/internal/storage"
 )
 
 func kindText() schema.NodeKind    { return schema.KindText }
@@ -249,7 +248,7 @@ func forEachDescendantText(e *env, n *NodeItem, fn func(text []byte)) error {
 	}
 	for _, it := range items {
 		ni := it.(*NodeItem)
-		b, err := storage.Text(e.r, &ni.D)
+		b, err := e.storeFor(ni.Doc).text(e, ni.Doc, &ni.D)
 		if err != nil {
 			return err
 		}

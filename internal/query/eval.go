@@ -85,7 +85,7 @@ func eval(x Expr, e *env, f *focus) ([]Item, error) {
 		if !ok {
 			return nil, fmt.Errorf("query: '/' requires a stored context node")
 		}
-		root, err := storage.DescOf(e.r, ni.Doc.RootHandle)
+		root, err := e.storeFor(ni.Doc).root(e, ni.Doc)
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +234,7 @@ func evalDoc(e *env, name string) ([]Item, error) {
 			return nil, err
 		}
 	}
-	root, err := storage.DescOf(e.r, doc.RootHandle)
+	root, err := e.storeFor(doc).root(e, doc)
 	if err != nil {
 		return nil, err
 	}
@@ -263,6 +263,9 @@ func evalStep(s *Step, e *env, f *focus) ([]Item, error) {
 	}
 	if s.Structural {
 		sp.SetStr("mode", "structural")
+	}
+	if k := e.ctx.storageKind(out); k != "" {
+		sp.SetStr("storage", k)
 	}
 	e.ctx.popSpan(sp)
 	return out, err

@@ -87,6 +87,15 @@ type execShared struct {
 
 	poolOnce sync.Once
 	pool     *workerPool
+
+	// storeMu guards the per-document storage-backend registry and its
+	// backend tallies; prefetchDepth is the statement's resolved readahead
+	// depth, restored when a paged document joins a resident-only statement.
+	storeMu       sync.Mutex
+	stores        map[uint32]docStore
+	residentDocs  int
+	pagedDocs     int
+	prefetchDepth int
 }
 
 // ErrKilled is returned by a statement terminated through ExecCtx.Kill. The
@@ -337,6 +346,7 @@ func ExecuteStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
 	ctx.Profile.NodesYielded = 0
 	depth := ctx.resolvePrefetchDepth()
 	ctx.Tx.SetPrefetchDepth(depth)
+	ctx.shared().prefetchDepth = depth
 	hintsBefore := ctx.Tx.PrefetchHints()
 	pagesBefore := ctx.Tx.PagesTouched()
 	start := time.Now()
@@ -461,7 +471,19 @@ func execExplain(ctx *ExecCtx, inner *Statement) (*Result, error) {
 	if ctx.NoVirtualCtors {
 		clearVirtualFlags(inner)
 	}
-	return &Result{Items: []Item{str(ExplainText(inner))}, ctx: ctx}, nil
+	hint := ""
+	if ctx.Tx != nil && ctx.Tx.DB() != nil && ctx.Tx.DB().Resident() {
+		if inner.ReadOnly() && !ctx.Tx.ReadOnly() {
+			// Resident serving requires a snapshot transaction; an update
+			// transaction reads paged even for its read-only statements.
+			hint = storagePaged
+		} else if inner.ReadOnly() {
+			hint = storageResident
+		} else {
+			hint = storagePaged
+		}
+	}
+	return &Result{Items: []Item{str(ExplainTextStorage(inner, hint))}, ctx: ctx}, nil
 }
 
 // execProfile executes the inner statement under a forced trace — stashing
@@ -480,6 +502,7 @@ func execProfile(ctx *ExecCtx, inner *Statement) (*Result, error) {
 	// PROFILE runs the statement directly, so it applies (and annotates) the
 	// readahead depth itself, as ExecuteStatement does for plain statements.
 	depth := ctx.resolvePrefetchDepth()
+	ctx.shared().prefetchDepth = depth
 	var hintsBefore uint64
 	if ctx.Tx != nil {
 		ctx.Tx.SetPrefetchDepth(depth)
@@ -531,7 +554,10 @@ func (r *Result) Serialize(w io.Writer) error {
 			}
 			prevAtomic = true
 		case *NodeItem:
-			if err := core.SerializeNode(e.r, x.Doc, x.D, w); err != nil {
+			// Serialize over the backend that produced the node: resident
+			// descriptors carry no paged navigation fields.
+			st := e.storeFor(x.Doc)
+			if err := core.SerializeNodeVia(storeAccess{e: e, doc: x.Doc, st: st}, x.Doc, x.D, w); err != nil {
 				return err
 			}
 			prevAtomic = false

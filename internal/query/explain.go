@@ -101,7 +101,15 @@ func binOpText(op BinOp) string {
 
 // ExplainText renders the statement's optimized operation tree; call after
 // Analyze and Rewrite so the rewriter flags and notes are populated.
-func ExplainText(st *Statement) string {
+func ExplainText(st *Statement) string { return ExplainTextStorage(st, "") }
+
+// ExplainTextStorage is ExplainText with a storage-backend hint: when
+// non-empty ("resident" or "paged"), every location step is annotated
+// storage=<hint> — the backend the executor will serve the statement's
+// documents from (EXPLAIN is static, so the hint reflects the mode switch
+// and statement kind, not per-document cache state).
+func ExplainTextStorage(st *Statement, storageHint string) string {
+	p := planPrinter{storage: storageHint}
 	var sb strings.Builder
 	kind := statementKind(st)
 	access := "update"
@@ -109,6 +117,9 @@ func ExplainText(st *Statement) string {
 		access = "read-only"
 	}
 	fmt.Fprintf(&sb, "statement: %s (%s)\n", kind, access)
+	if storageHint != "" {
+		fmt.Fprintf(&sb, "storage: %s\n", storageHint)
+	}
 	if len(st.Rewrites) > 0 {
 		sb.WriteString("rewrites:\n")
 		for _, r := range st.Rewrites {
@@ -119,25 +130,25 @@ func ExplainText(st *Statement) string {
 	}
 	for _, v := range st.Prolog.Vars {
 		fmt.Fprintf(&sb, "declare variable $%s :=\n", v.Var)
-		writePlan(&sb, v.Seq, 1)
+		p.writePlan(&sb, v.Seq, 1)
 	}
 	sb.WriteString("plan:\n")
 	switch {
 	case st.Query != nil:
-		writePlan(&sb, st.Query, 1)
+		p.writePlan(&sb, st.Query, 1)
 	case st.Update != nil:
 		fmt.Fprintf(&sb, "  update kind=%d\n", int(st.Update.Kind))
 		sb.WriteString("  target:\n")
-		writePlan(&sb, st.Update.Target, 2)
+		p.writePlan(&sb, st.Update.Target, 2)
 		if st.Update.Source != nil {
 			sb.WriteString("  source:\n")
-			writePlan(&sb, st.Update.Source, 2)
+			p.writePlan(&sb, st.Update.Source, 2)
 		}
 	case st.DDL != nil:
 		fmt.Fprintf(&sb, "  ddl kind=%d name=%q\n", int(st.DDL.Kind), st.DDL.Name)
 		if st.DDL.OnPath != nil {
 			sb.WriteString("  on:\n")
-			writePlan(&sb, st.DDL.OnPath, 2)
+			p.writePlan(&sb, st.DDL.OnPath, 2)
 		}
 	}
 	return sb.String()
@@ -149,9 +160,14 @@ func indent(w io.Writer, depth int) {
 	}
 }
 
+// planPrinter carries rendering options through the recursive plan walk.
+type planPrinter struct {
+	storage string // per-step storage-backend annotation ("" = none)
+}
+
 // writePlan renders one expression subtree, children indented under their
 // parent, rewriter flags in brackets.
-func writePlan(w io.Writer, x Expr, depth int) {
+func (p planPrinter) writePlan(w io.Writer, x Expr, depth int) {
 	if x == nil {
 		return
 	}
@@ -182,44 +198,47 @@ func writePlan(w io.Writer, x Expr, depth int) {
 		if len(n.Preds) > 0 {
 			flags = append(flags, fmt.Sprintf("preds=%d", len(n.Preds)))
 		}
+		if p.storage != "" {
+			flags = append(flags, "storage="+p.storage)
+		}
 		fmt.Fprintf(w, "step %s%s\n", stepText(n), flagText(flags))
-		writePlan(w, n.Input, depth+1)
-		for _, p := range n.Preds {
+		p.writePlan(w, n.Input, depth+1)
+		for _, pred := range n.Preds {
 			indent(w, depth+1)
 			fmt.Fprintln(w, "predicate:")
-			writePlan(w, p, depth+2)
+			p.writePlan(w, pred, depth+2)
 		}
 	case *Filter:
 		fmt.Fprintf(w, "filter preds=%d\n", len(n.Preds))
-		writePlan(w, n.Input, depth+1)
-		for _, p := range n.Preds {
-			writePlan(w, p, depth+1)
+		p.writePlan(w, n.Input, depth+1)
+		for _, pred := range n.Preds {
+			p.writePlan(w, pred, depth+1)
 		}
 	case *Sequence:
 		fmt.Fprintf(w, "sequence items=%d\n", len(n.Items))
 		for _, it := range n.Items {
-			writePlan(w, it, depth+1)
+			p.writePlan(w, it, depth+1)
 		}
 	case *Binary:
 		fmt.Fprintf(w, "binary %s\n", binOpText(n.Op))
-		writePlan(w, n.Left, depth+1)
-		writePlan(w, n.Right, depth+1)
+		p.writePlan(w, n.Left, depth+1)
+		p.writePlan(w, n.Right, depth+1)
 	case *Unary:
 		fmt.Fprintln(w, "unary -")
-		writePlan(w, n.X, depth+1)
+		p.writePlan(w, n.X, depth+1)
 	case *IfExpr:
 		fmt.Fprintln(w, "if")
-		writePlan(w, n.Cond, depth+1)
-		writePlan(w, n.Then, depth+1)
-		writePlan(w, n.Else, depth+1)
+		p.writePlan(w, n.Cond, depth+1)
+		p.writePlan(w, n.Then, depth+1)
+		p.writePlan(w, n.Else, depth+1)
 	case *Quantified:
 		kw := "some"
 		if n.Every {
 			kw = "every"
 		}
 		fmt.Fprintf(w, "%s $%s\n", kw, n.Var)
-		writePlan(w, n.Seq, depth+1)
-		writePlan(w, n.Pred, depth+1)
+		p.writePlan(w, n.Seq, depth+1)
+		p.writePlan(w, n.Pred, depth+1)
 	case *FLWOR:
 		fmt.Fprintln(w, "flwor")
 		for _, cl := range n.Clauses {
@@ -233,25 +252,25 @@ func writePlan(w io.Writer, x Expr, depth int) {
 				flags = append(flags, "lazy")
 			}
 			fmt.Fprintf(w, "%s $%s%s\n", kw, cl.Var, flagText(flags))
-			writePlan(w, cl.Seq, depth+2)
+			p.writePlan(w, cl.Seq, depth+2)
 		}
 		if n.Where != nil {
 			indent(w, depth+1)
 			fmt.Fprintln(w, "where:")
-			writePlan(w, n.Where, depth+2)
+			p.writePlan(w, n.Where, depth+2)
 		}
 		for _, o := range n.OrderBy {
 			indent(w, depth+1)
 			fmt.Fprintln(w, "order-by:")
-			writePlan(w, o.Key, depth+2)
+			p.writePlan(w, o.Key, depth+2)
 		}
 		indent(w, depth+1)
 		fmt.Fprintln(w, "return:")
-		writePlan(w, n.Return, depth+2)
+		p.writePlan(w, n.Return, depth+2)
 	case *FuncCall:
 		fmt.Fprintf(w, "call %s args=%d\n", n.Name, len(n.Args))
 		for _, a := range n.Args {
-			writePlan(w, a, depth+1)
+			p.writePlan(w, a, depth+1)
 		}
 	case *ElementCtor:
 		var flags []string
@@ -260,14 +279,14 @@ func writePlan(w io.Writer, x Expr, depth int) {
 		}
 		fmt.Fprintf(w, "element <%s>%s\n", n.Name, flagText(flags))
 		for _, c := range n.Content {
-			writePlan(w, c, depth+1)
+			p.writePlan(w, c, depth+1)
 		}
 	case *TextCtor:
 		fmt.Fprintln(w, "text-ctor")
-		writePlan(w, n.Content, depth+1)
+		p.writePlan(w, n.Content, depth+1)
 	case *CommentCtor:
 		fmt.Fprintln(w, "comment-ctor")
-		writePlan(w, n.Content, depth+1)
+		p.writePlan(w, n.Content, depth+1)
 	default:
 		fmt.Fprintf(w, "%T\n", x)
 	}

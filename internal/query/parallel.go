@@ -209,7 +209,7 @@ func (ctx *ExecCtx) fanOut(n int, fn func(i int, wctx *ExecCtx) error) (int, err
 // byte-identical to serial. handled=false means the section did not qualify
 // (fewer than two targets, too little work, update statement, parallelism
 // off) and the caller should run its serial path.
-func parallelStreams(e *env, doc *storage.Doc, targets []*schema.Node, anc nid.Label, out []Item) ([]Item, bool, error) {
+func parallelStreams(e *env, doc *storage.Doc, targets []*schema.Node, st docStore, anc *storage.Desc, out []Item) ([]Item, bool, error) {
 	ctx := e.ctx
 	if len(targets) < 2 || ctx.updateStmt {
 		return out, false, nil
@@ -229,17 +229,17 @@ func parallelStreams(e *env, doc *storage.Doc, targets []*schema.Node, anc nid.L
 	if _, err := ctx.fanOut(len(targets), func(i int, wctx *ExecCtx) error {
 		we := *e
 		we.ctx = wctx
-		rs, err := newRangeScan(&we, doc, targets[i], anc)
+		s, err := st.descendantScan(&we, doc, targets[i], anc)
 		if err != nil {
 			return err
 		}
 		var buf []Item
-		for rs != nil && rs.ok {
+		for s != nil && s.valid() {
 			if err := wctx.checkKilled(); err != nil {
 				return err
 			}
-			buf = append(buf, &NodeItem{Doc: doc, D: rs.cur})
-			if err := rs.advance(&we); err != nil {
+			buf = append(buf, &NodeItem{Doc: doc, D: *s.desc()})
+			if err := s.advance(&we); err != nil {
 				return err
 			}
 		}

@@ -104,30 +104,30 @@ func evalStructural(s *Step, e *env, f *focus) ([]Item, error) {
 	if len(targets) == 0 {
 		return nil, nil
 	}
+	st := e.storeFor(doc)
 	if len(targets) == 1 {
 		// Single schema node: its list already is the answer in document
 		// order — no per-node work at all.
-		e.ctx.stats().AddSchemaScans(1)
 		var out []Item
-		err := storage.ScanSchema(e.r, targets[0], func(d storage.Desc) (bool, error) {
+		err := st.schemaScan(e, doc, targets[0], func(d storage.Desc) (bool, error) {
 			out = append(out, &NodeItem{Doc: doc, D: d})
 			return true, nil
 		})
 		return out, err
 	}
-	if merged, ok, err := parallelStreams(e, doc, targets, docNode.D.Label, nil); err != nil {
+	if merged, ok, err := parallelStreams(e, doc, targets, st, &docNode.D, nil); err != nil {
 		return nil, err
 	} else if ok {
 		return merged, nil
 	}
-	streams := make([]*rangeScan, 0, len(targets))
+	streams := make([]descStream, 0, len(targets))
 	for _, sn := range targets {
-		rs, err := newRangeScan(e, doc, sn, docNode.D.Label)
+		s, err := st.descendantScan(e, doc, sn, &docNode.D)
 		if err != nil {
 			return nil, err
 		}
-		if rs != nil {
-			streams = append(streams, rs)
+		if s != nil && s.valid() {
+			streams = append(streams, s)
 		}
 	}
 	return mergeStreams(e, doc, streams, nil)

@@ -4,7 +4,6 @@ import (
 	"strings"
 
 	"sedna/internal/schema"
-	"sedna/internal/storage"
 )
 
 // TempNode is a node constructed during query evaluation (§5.2.1). By
@@ -70,7 +69,7 @@ func deepCopyStored(env *env, it *NodeItem) (*TempNode, error) {
 	sn := it.Doc.Schema.ByID(it.D.SchemaID)
 	t := env.ctx.newTempNode(sn.Kind, sn.Name)
 	if sn.Kind.HasText() {
-		b, err := storage.Text(env.r, &it.D)
+		b, err := env.storeFor(it.Doc).text(env, it.Doc, &it.D)
 		if err != nil {
 			return nil, err
 		}
@@ -94,21 +93,15 @@ func deepCopyStored(env *env, it *NodeItem) (*TempNode, error) {
 
 // storedChildren lists the children of a stored node in document order.
 func storedChildren(env *env, it *NodeItem) ([]NodeItem, error) {
-	var out []NodeItem
-	c, ok, err := storage.FirstChild(env.r, &it.D)
-	for {
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return out, nil
-		}
-		out = append(out, NodeItem{Doc: it.Doc, D: c})
-		if c.RightSib.IsNil() {
-			return out, nil
-		}
-		c, err = storage.ReadDesc(env.r, c.RightSib)
+	kids, err := env.storeFor(it.Doc).children(env, it.Doc, &it.D)
+	if err != nil {
+		return nil, err
 	}
+	out := make([]NodeItem, len(kids))
+	for i := range kids {
+		out[i] = NodeItem{Doc: it.Doc, D: kids[i]}
+	}
+	return out, nil
 }
 
 // stringValue concatenates descendant text of a temp node.

@@ -106,7 +106,7 @@ func nodeStringValue(env *env, n *NodeItem) (string, error) {
 		return "", fmt.Errorf("query: unknown schema node %d", n.D.SchemaID)
 	}
 	if sn.Kind.HasText() {
-		b, err := storage.Text(env.r, &n.D)
+		b, err := env.storeFor(n.Doc).text(env, n.Doc, &n.D)
 		if err != nil {
 			return "", err
 		}

@@ -1,0 +1,230 @@
+package resident
+
+import (
+	"sync"
+
+	"sedna/internal/metrics"
+)
+
+// Cache holds resident representations across documents under a byte-size
+// budget with LRU eviction. Entries validate by commit timestamp: a reader
+// shares a cached Rep iff its snapshot resolves the document to the same
+// metadata version the Rep was built against. Invalidation just drops the
+// cache reference — Reps are immutable, so in-flight readers keep theirs.
+//
+// The barrier guards replicas: physical page applies from a primary do not
+// touch document metadata, so after an apply commit every cached Rep is
+// flushed and readers whose snapshot predates the barrier fall back to
+// paged access rather than share a Rep across the apply.
+type Cache struct {
+	mu       sync.Mutex
+	budget   uint64
+	entries  map[string]*entry
+	inflight map[string]chan struct{}
+	// tooBig remembers versions whose Rep exceeds the whole budget, so each
+	// statement does not rebuild them just to throw them away.
+	tooBig  map[string]uint64
+	barrier uint64
+	total   uint64
+	tick    uint64
+
+	hits, builds, fallbacks, invalidations, evictions *metrics.Counter
+	bytes                                             *metrics.Gauge
+}
+
+type entry struct {
+	rep     *Rep
+	lastUse uint64
+}
+
+// DefaultBudget is the resident byte budget when none is configured
+// (256 MiB).
+const DefaultBudget = 256 << 20
+
+// NewCache creates a cache with the given byte budget (<= 0 uses
+// DefaultBudget), reporting into reg.
+func NewCache(budget int64, reg *metrics.Registry) *Cache {
+	if budget <= 0 {
+		budget = DefaultBudget
+	}
+	reg = metrics.OrNew(reg)
+	return &Cache{
+		budget:        uint64(budget),
+		entries:       make(map[string]*entry),
+		inflight:      make(map[string]chan struct{}),
+		tooBig:        make(map[string]uint64),
+		hits:          reg.Counter("resident.hits"),
+		builds:        reg.Counter("resident.builds"),
+		fallbacks:     reg.Counter("resident.fallbacks"),
+		invalidations: reg.Counter("resident.invalidations"),
+		evictions:     reg.Counter("resident.evictions"),
+		bytes:         reg.Gauge("resident.bytes"),
+	}
+}
+
+// Budget returns the configured byte budget.
+func (c *Cache) Budget() uint64 { return c.budget }
+
+// Acquire returns the resident representation of the named document at the
+// given metadata version, building it via build on a miss. Concurrent
+// acquirers of the same document wait for one in-flight build instead of
+// duplicating it. Returns nil when the document must be served paged (build
+// failed, the Rep alone exceeds the budget, or the reader's snapshot
+// predates the replication barrier) — each such return counts one fallback.
+func (c *Cache) Acquire(name string, version, snapTS uint64, build func() (*Rep, error)) *Rep {
+	c.mu.Lock()
+	for {
+		if snapTS < c.barrier {
+			c.mu.Unlock()
+			c.fallbacks.Inc()
+			return nil
+		}
+		if ent := c.entries[name]; ent != nil && ent.rep.CommitTS == version {
+			c.tick++
+			ent.lastUse = c.tick
+			c.mu.Unlock()
+			c.hits.Inc()
+			return ent.rep
+		}
+		if v, ok := c.tooBig[name]; ok && v == version {
+			c.mu.Unlock()
+			c.fallbacks.Inc()
+			return nil
+		}
+		ch, busy := c.inflight[name]
+		if !busy {
+			break
+		}
+		c.mu.Unlock()
+		<-ch
+		c.mu.Lock()
+	}
+	ch := make(chan struct{})
+	c.inflight[name] = ch
+	c.mu.Unlock()
+
+	rep, err := build()
+
+	c.mu.Lock()
+	delete(c.inflight, name)
+	close(ch)
+	if err != nil || rep == nil {
+		c.mu.Unlock()
+		c.fallbacks.Inc()
+		return nil
+	}
+	c.builds.Inc()
+	if rep.Bytes > c.budget {
+		c.tooBig[name] = version
+		c.mu.Unlock()
+		c.fallbacks.Inc()
+		return nil
+	}
+	if rep.SnapTS < c.barrier {
+		// Built under a snapshot older than a replicated apply that landed
+		// mid-build: correct for this reader, but not cacheable.
+		c.mu.Unlock()
+		return rep
+	}
+	if old := c.entries[name]; old != nil {
+		c.total -= old.rep.Bytes
+	}
+	c.tick++
+	c.entries[name] = &entry{rep: rep, lastUse: c.tick}
+	c.total += rep.Bytes
+	c.evictLocked(name)
+	c.bytes.Set(int64(c.total))
+	c.mu.Unlock()
+	return rep
+}
+
+// evictLocked drops least-recently-used entries (never keep) until the
+// total fits the budget.
+func (c *Cache) evictLocked(keep string) {
+	for c.total > c.budget {
+		var victim string
+		var oldest uint64
+		for name, ent := range c.entries {
+			if name == keep {
+				continue
+			}
+			if victim == "" || ent.lastUse < oldest {
+				victim, oldest = name, ent.lastUse
+			}
+		}
+		if victim == "" {
+			return
+		}
+		c.total -= c.entries[victim].rep.Bytes
+		delete(c.entries, victim)
+		c.evictions.Inc()
+	}
+}
+
+// Invalidate drops the named document's cached representation (commit of a
+// change or a drop). In-flight readers holding the Rep are unaffected.
+func (c *Cache) Invalidate(name string) {
+	c.mu.Lock()
+	delete(c.tooBig, name)
+	ent := c.entries[name]
+	if ent != nil {
+		c.total -= ent.rep.Bytes
+		delete(c.entries, name)
+		c.invalidations.Inc()
+		c.bytes.Set(int64(c.total))
+	}
+	c.mu.Unlock()
+}
+
+// Barrier flushes the whole cache and refuses resident service to readers
+// whose snapshot predates ts — called after a replicated apply commits,
+// whose physical page writes change content without touching document
+// metadata versions.
+func (c *Cache) Barrier(ts uint64) {
+	c.mu.Lock()
+	if ts > c.barrier {
+		c.barrier = ts
+	}
+	c.flushLocked()
+	c.mu.Unlock()
+}
+
+// Flush drops every cached representation (resident mode switched off).
+func (c *Cache) Flush() {
+	c.mu.Lock()
+	c.flushLocked()
+	c.mu.Unlock()
+}
+
+func (c *Cache) flushLocked() {
+	for name := range c.entries {
+		delete(c.entries, name)
+		c.invalidations.Inc()
+	}
+	c.tooBig = make(map[string]uint64)
+	c.total = 0
+	c.bytes.Set(0)
+}
+
+// Len returns the number of cached documents.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// TotalBytes returns the cached byte total.
+func (c *Cache) TotalBytes() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Contains reports whether the named document is currently resident (any
+// version).
+func (c *Cache) Contains(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[name]
+	return ok
+}

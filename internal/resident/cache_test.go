@@ -1,0 +1,189 @@
+package resident
+
+import (
+	"sync"
+	"testing"
+)
+
+func mkRep(name string, version, snap uint64, bytes uint64) *Rep {
+	return &Rep{DocName: name, CommitTS: version, SnapTS: snap, Bytes: bytes}
+}
+
+func acquire(c *Cache, name string, version, snap uint64, bytes uint64, calls *int) *Rep {
+	return c.Acquire(name, version, snap, func() (*Rep, error) {
+		*calls++
+		return mkRep(name, version, snap, bytes), nil
+	})
+}
+
+func TestCacheHitAndVersionValidation(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	calls := 0
+	r1 := acquire(c, "a", 10, 10, 100, &calls)
+	if r1 == nil || calls != 1 {
+		t.Fatalf("first acquire: rep=%v calls=%d", r1, calls)
+	}
+	r2 := acquire(c, "a", 10, 15, 100, &calls)
+	if r2 != r1 || calls != 1 {
+		t.Fatalf("same-version acquire should hit: calls=%d", calls)
+	}
+	// A newer committed version must rebuild, never serve the stale Rep.
+	r3 := acquire(c, "a", 20, 25, 100, &calls)
+	if r3 == r1 || calls != 2 {
+		t.Fatalf("new-version acquire should rebuild: calls=%d", calls)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestCacheTooBigMemo(t *testing.T) {
+	c := NewCache(100, nil)
+	calls := 0
+	if rep := acquire(c, "big", 5, 5, 500, &calls); rep != nil {
+		t.Fatal("over-budget rep should fall back to paged")
+	}
+	if rep := acquire(c, "big", 5, 6, 500, &calls); rep != nil || calls != 1 {
+		t.Fatalf("tooBig memo should skip rebuild: calls=%d", calls)
+	}
+	// A new version may have shrunk: the memo is per version.
+	if rep := acquire(c, "big", 7, 8, 50, &calls); rep == nil || calls != 2 {
+		t.Fatalf("new version should rebuild: calls=%d", calls)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(100, nil)
+	calls := 0
+	acquire(c, "a", 1, 1, 40, &calls)
+	acquire(c, "b", 1, 1, 40, &calls)
+	acquire(c, "a", 1, 2, 40, &calls) // touch a: b becomes LRU
+	acquire(c, "c", 1, 3, 40, &calls)
+	if c.Contains("b") {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if !c.Contains("a") || !c.Contains("c") {
+		t.Fatal("a and c should survive eviction")
+	}
+	if c.TotalBytes() != 80 {
+		t.Fatalf("TotalBytes = %d, want 80", c.TotalBytes())
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	calls := 0
+	acquire(c, "a", 1, 1, 40, &calls)
+	c.Invalidate("a")
+	if c.Contains("a") || c.TotalBytes() != 0 {
+		t.Fatal("invalidate should drop the entry and its bytes")
+	}
+	acquire(c, "a", 2, 2, 40, &calls)
+	if calls != 2 {
+		t.Fatalf("acquire after invalidate should rebuild: calls=%d", calls)
+	}
+}
+
+func TestCacheBarrier(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	calls := 0
+	acquire(c, "a", 1, 1, 40, &calls)
+	c.Barrier(50)
+	if c.Len() != 0 {
+		t.Fatal("barrier should flush the cache")
+	}
+	if rep := acquire(c, "a", 1, 40, 40, &calls); rep != nil || calls != 1 {
+		t.Fatalf("pre-barrier snapshot must be served paged: calls=%d", calls)
+	}
+	if rep := acquire(c, "a", 60, 60, 40, &calls); rep == nil || calls != 2 {
+		t.Fatalf("post-barrier snapshot should build: calls=%d", calls)
+	}
+	// A build whose snapshot raced below a new barrier is returned to its
+	// reader but not cached.
+	c.Barrier(100)
+	rep := c.Acquire("b", 70, 120, func() (*Rep, error) {
+		return mkRep("b", 70, 90, 40), nil
+	})
+	if rep == nil {
+		t.Fatal("racing build should still serve its reader")
+	}
+	if c.Contains("b") {
+		t.Fatal("racing build must not be cached across the barrier")
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	var mu sync.Mutex
+	calls := 0
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	build := func() (*Rep, error) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			close(started)
+			<-release
+		}
+		return mkRep("a", 1, 1, 40), nil
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.Acquire("a", 1, 1, build)
+	}()
+	<-started
+	// Second acquirer arrives while the first build is in flight: it must
+	// wait for that build rather than run its own.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if rep := c.Acquire("a", 1, 1, build); rep == nil {
+			t.Error("waiter should receive the in-flight build's rep")
+		}
+	}()
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("build ran %d times, want 1", calls)
+	}
+}
+
+// TestCacheConcurrentChurn drives concurrent acquires, invalidations and
+// eviction under a tight budget; the race detector checks the locking.
+func TestCacheConcurrentChurn(t *testing.T) {
+	c := NewCache(100, nil)
+	names := []string{"a", "b", "c", "d"}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := names[(w+i)%len(names)]
+				ver := uint64(i % 3)
+				rep := c.Acquire(name, ver, ver, func() (*Rep, error) {
+					return mkRep(name, ver, ver, 40), nil
+				})
+				if rep != nil && rep.DocName != name {
+					t.Errorf("got rep for %q, want %q", rep.DocName, name)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			c.Invalidate(names[i%len(names)])
+		}
+	}()
+	wg.Wait()
+	if c.TotalBytes() > c.Budget() {
+		t.Fatalf("total %d exceeds budget %d", c.TotalBytes(), c.Budget())
+	}
+}

@@ -34,6 +34,7 @@ const (
 	MsgSessions   = wire.MsgSessions
 	MsgKill       = wire.MsgKill
 	MsgCluster    = wire.MsgCluster
+	MsgResident   = wire.MsgResident
 )
 
 // Message types (server → client).

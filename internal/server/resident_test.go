@@ -1,0 +1,64 @@
+package server_test
+
+import (
+	"testing"
+
+	"sedna/client"
+)
+
+// TestResidentVerb smoke-tests the MsgResident wire verb end to end: the
+// mode defaults to off, a set round-trips and reports the new effective
+// state, and statements keep returning correct results while resident
+// copies serve the reads.
+func TestResidentVerb(t *testing.T) {
+	srv := startServer(t)
+	c, err := client.Connect(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	on, err := c.Resident()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on {
+		t.Fatal("resident mode on by default, want off")
+	}
+	if on, err = c.SetResident(true); err != nil || !on {
+		t.Fatalf("SetResident(true) = %v, %v", on, err)
+	}
+	if on, err = c.Resident(); err != nil || !on {
+		t.Fatalf("resident state after set = %v, %v", on, err)
+	}
+	if _, err := c.Execute(`CREATE DOCUMENT "r"`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Execute(`UPDATE insert <r><x>1</x><x>2</x></r> into doc("r")`); err != nil {
+		t.Fatal(err)
+	}
+	// Two reads: the first builds the resident copy, the second hits it.
+	for i := 0; i < 2; i++ {
+		res, err := c.Execute(`count(doc("r")//x)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Data != "2" {
+			t.Fatalf("count = %q", res.Data)
+		}
+	}
+	// An update while resident invalidates; the next read is still correct.
+	if _, err := c.Execute(`UPDATE insert <x>3</x> into doc("r")/r`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Execute(`count(doc("r")//x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Data != "3" {
+		t.Fatalf("count after update = %q", res.Data)
+	}
+	if on, err = c.SetResident(false); err != nil || on {
+		t.Fatalf("SetResident(false) = %v, %v", on, err)
+	}
+}

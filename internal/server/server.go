@@ -318,6 +318,23 @@ func (g *Governor) prefetch(req *Request) (*Response, error) {
 	}, nil
 }
 
+// resident serves a MsgResident request: optionally switch the compressed
+// in-memory resident mode (the runtime face of sednad -resident), then
+// report the effective state.
+func (g *Governor) resident(req *Request) (*Response, error) {
+	if req.SetResident {
+		g.db.SetResident(req.Resident)
+	}
+	state := "off"
+	if g.db.Resident() {
+		state = "on"
+	}
+	return &Response{
+		Data:    state,
+		Message: fmt.Sprintf("resident mode %s", state),
+	}, nil
+}
+
 // replStatus serves a MsgReplStatus request: the node's role and lag-aware
 // replica topology as JSON.
 func (g *Governor) replStatus() (*Response, error) {
@@ -473,6 +490,8 @@ func (s *Server) handle(rawConn net.Conn) {
 			resp, rerr = s.gov.workers(&req)
 		case MsgPrefetch:
 			resp, rerr = s.gov.prefetch(&req)
+		case MsgResident:
+			resp, rerr = s.gov.resident(&req)
 		case MsgReplicate:
 			// The connection becomes a replication stream and never returns
 			// to the request-response loop.
@@ -506,7 +525,7 @@ func (s *Server) handle(rawConn net.Conn) {
 		}
 		out := byte(MsgOK)
 		switch typ {
-		case MsgExecute, MsgMetrics, MsgSlowLog, MsgWorkers, MsgPrefetch, MsgReplStatus, MsgSessions, MsgCluster:
+		case MsgExecute, MsgMetrics, MsgSlowLog, MsgWorkers, MsgPrefetch, MsgReplStatus, MsgSessions, MsgCluster, MsgResident:
 			out = MsgResult
 		}
 		if err := WriteMsg(conn, out, resp); err != nil {

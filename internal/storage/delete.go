@@ -179,5 +179,12 @@ func UpdateText(w Writer, doc *Doc, handle sas.XPtr, text []byte) error {
 	if err := writePtrAt(w, p.Add(dText), tp); err != nil {
 		return err
 	}
-	return writeU32At(w, p.Add(dTextLen), uint32(len(text)))
+	if err := writeU32At(w, p.Add(dTextLen), uint32(len(text))); err != nil {
+		return err
+	}
+	// A text replacement changes document content without moving any
+	// descriptor: touch the document anyway so commit publishes a new
+	// metadata version (snapshot readers key resident caching off it).
+	w.TouchDoc(doc)
+	return nil
 }

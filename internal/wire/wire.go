@@ -35,6 +35,7 @@ const (
 	MsgSessions   = 14 // list live sessions with per-session accounting
 	MsgKill       = 15 // cancel another session's in-flight statement
 	MsgCluster    = 16 // merged topology: local sessions + per-replica lag
+	MsgResident   = 17 // report or toggle the resident-mode switch
 )
 
 // Message types (server → client).
@@ -95,6 +96,12 @@ type Request struct {
 	// response always reports the effective depth.
 	Prefetch    int  `json:"prefetch,omitempty"`
 	SetPrefetch bool `json:"set_prefetch,omitempty"`
+
+	// MsgResident: when SetResident is set, the server switches the
+	// compressed in-memory resident mode on or off; the response always
+	// reports the effective state ("on"/"off").
+	Resident    bool `json:"resident,omitempty"`
+	SetResident bool `json:"set_resident,omitempty"`
 
 	// MsgReplicate: the joining replica asks for the stream to start at
 	// FromLSN; with NeedSeed it requests a hot-backup seed transfer first

@@ -26,7 +26,7 @@ go test ./...
 echo "== go test -race (concurrency-sensitive packages) =="
 go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/wal \
     ./internal/txn ./internal/core ./internal/lock ./internal/server ./internal/query \
-    ./internal/repl
+    ./internal/repl ./internal/resident
 
 echo "== bench smoke (compile + one iteration of every benchmark) =="
 go test -bench=. -benchtime=1x -run '^$' .
@@ -36,5 +36,8 @@ go run ./cmd/sedna-bench -run E20
 
 echo "== introspection smoke (E21: sessions, KILL of a long query, Prometheus round-trip) =="
 go run ./cmd/sedna-bench -run E21
+
+echo "== resident-mode smoke (E22: resident vs paged, byte-identity, >=5x warm speedup) =="
+go run ./cmd/sedna-bench -run E22
 
 echo "check.sh: all green"

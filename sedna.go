@@ -71,6 +71,16 @@ type Options struct {
 	// may load asynchronously (0 = off). Runtime-settable per statement via
 	// query.ExecCtx.PrefetchDepth and server-side via the PREFETCH verb.
 	PrefetchDepth int
+	// Resident serves read-only queries from compressed in-memory resident
+	// copies of hot documents: a compact structural array plus a shared text
+	// arena, built once per committed document version and invalidated on
+	// update. Results are byte-identical to the paged path. Runtime-settable
+	// server-side via the RESIDENT verb.
+	Resident bool
+	// ResidentBudget caps the total bytes of resident document copies
+	// (0 = default 256 MiB). Least-recently-used copies are evicted; a
+	// document larger than the whole budget always stays on the paged path.
+	ResidentBudget int64
 }
 
 // DB is an open database.
@@ -96,6 +106,8 @@ func Open(dir string, opts *Options) (*DB, error) {
 		Metrics:            o.Metrics,
 		QueryWorkers:       o.QueryWorkers,
 		PrefetchDepth:      o.PrefetchDepth,
+		Resident:           o.Resident,
+		ResidentBudget:     o.ResidentBudget,
 	})
 	if err != nil {
 		return nil, err
