@@ -127,6 +127,13 @@ func (c *Cache) Acquire(name string, version, snapTS uint64, build func() (*Rep,
 		return rep
 	}
 	if old := c.entries[name]; old != nil {
+		if old.rep.CommitTS > rep.CommitTS {
+			// A newer version is already cached (this build served a reader
+			// on an older snapshot): keep it, hand the fresh Rep to the
+			// caller only.
+			c.mu.Unlock()
+			return rep
+		}
 		c.total -= old.rep.Bytes
 	}
 	c.tick++

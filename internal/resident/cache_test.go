@@ -37,6 +37,26 @@ func TestCacheHitAndVersionValidation(t *testing.T) {
 	}
 }
 
+// TestCacheOlderBuildKeepsNewer pins that a build serving a reader on an
+// older snapshot does not evict a newer cached version (regression: it used
+// to overwrite unconditionally, causing rebuild thrash when old-snapshot and
+// current readers interleave).
+func TestCacheOlderBuildKeepsNewer(t *testing.T) {
+	c := NewCache(1<<20, nil)
+	calls := 0
+	newer := acquire(c, "a", 20, 20, 100, &calls)
+	older := acquire(c, "a", 10, 10, 100, &calls)
+	if older == nil || older == newer || calls != 2 {
+		t.Fatalf("older-snapshot acquire: rep=%v calls=%d", older, calls)
+	}
+	if r := acquire(c, "a", 20, 21, 100, &calls); r != newer || calls != 2 {
+		t.Fatalf("newer rep should still be cached after older build: calls=%d", calls)
+	}
+	if c.Len() != 1 || c.TotalBytes() != 100 {
+		t.Fatalf("Len=%d TotalBytes=%d, want 1/100", c.Len(), c.TotalBytes())
+	}
+}
+
 func TestCacheTooBigMemo(t *testing.T) {
 	c := NewCache(100, nil)
 	calls := 0

@@ -15,6 +15,7 @@
 package resident
 
 import (
+	"fmt"
 	"unsafe"
 
 	"sedna/internal/nid"
@@ -139,15 +140,26 @@ func Build(r storage.Reader, doc *storage.Doc, version, snapTS uint64) (*Rep, er
 		BySchema: make(map[uint32][]int32),
 		ByHandle: make(map[sas.XPtr]int32),
 	}
-	if _, err := rep.addSubtree(r, root, -1); err != nil {
+	if _, err := rep.addSubtree(r, root, -1, 0); err != nil {
 		return nil, err
 	}
 	rep.Bytes = rep.footprint()
 	return rep, nil
 }
 
+// maxBuildDepth bounds addSubtree's recursion (one frame per tree level);
+// deeper documents fail the build and stay paged rather than risk the
+// goroutine stack.
+const maxBuildDepth = 4096
+
 // addSubtree appends d and its subtree, returning d's index.
-func (rep *Rep) addSubtree(r storage.Reader, d storage.Desc, parent int32) (int32, error) {
+func (rep *Rep) addSubtree(r storage.Reader, d storage.Desc, parent int32, depth int) (int32, error) {
+	if depth > maxBuildDepth {
+		return 0, fmt.Errorf("resident: document deeper than %d levels", maxBuildDepth)
+	}
+	if len(d.Label.Prefix) > 0xFFFF {
+		return 0, fmt.Errorf("resident: NID label prefix of %d bytes exceeds 64 KiB", len(d.Label.Prefix))
+	}
 	i := int32(len(rep.Nodes))
 	n := Node{
 		SchemaID:   d.SchemaID,
@@ -176,15 +188,12 @@ func (rep *Rep) addSubtree(r storage.Reader, d storage.Desc, parent int32) (int3
 	rep.ByHandle[d.Handle] = i
 
 	c, ok, err := storage.FirstChild(r, &d)
+	if err != nil {
+		return 0, err
+	}
 	prev := int32(-1)
-	for {
-		if err != nil {
-			return 0, err
-		}
-		if !ok {
-			break
-		}
-		ci, err := rep.addSubtree(r, c, i)
+	for ok {
+		ci, err := rep.addSubtree(r, c, i, depth+1)
 		if err != nil {
 			return 0, err
 		}
@@ -198,8 +207,9 @@ func (rep *Rep) addSubtree(r storage.Reader, d storage.Desc, parent int32) (int3
 		if c.RightSib.IsNil() {
 			break
 		}
-		c, err = storage.ReadDesc(r, c.RightSib)
-		ok = err == nil
+		if c, err = storage.ReadDesc(r, c.RightSib); err != nil {
+			return 0, err
+		}
 	}
 	rep.Nodes[i].SubtreeEnd = int32(len(rep.Nodes))
 	return i, nil

@@ -1,6 +1,7 @@
 package resident_test
 
 import (
+	"errors"
 	"sort"
 	"strings"
 	"testing"
@@ -9,6 +10,7 @@ import (
 	"sedna/internal/lock"
 	"sedna/internal/nid"
 	"sedna/internal/resident"
+	"sedna/internal/sas"
 	"sedna/internal/schema"
 	"sedna/internal/storage"
 )
@@ -253,5 +255,71 @@ func TestDescendantRange(t *testing.T) {
 	r := rep.BySchema[rID][0]
 	if got := rep.ChildrenOfSchema(xID, r); len(got) != 2 {
 		t.Fatalf("ChildrenOfSchema(x, r) = %v", got)
+	}
+}
+
+// flakyReader serves the first n page reads from the inner reader, then
+// fails every subsequent one — an I/O error at an arbitrary point of the
+// build walk.
+type flakyReader struct {
+	inner storage.Reader
+	n     int
+	reads int
+}
+
+func (f *flakyReader) ReadPage(p sas.XPtr, fn func(page []byte) error) error {
+	if f.reads >= f.n {
+		return errors.New("injected read failure")
+	}
+	f.reads++
+	return f.inner.ReadPage(p, fn)
+}
+
+// TestBuildReadFailure pins that a page-read error at any point during
+// Build surfaces as an error rather than a silently truncated Rep
+// (regression: a ReadDesc failure in the sibling walk used to end the loop
+// as if the chain were exhausted, caching a Rep with missing nodes).
+func TestBuildReadFailure(t *testing.T) {
+	db, err := core.Open(t.TempDir(), core.Options{NoSync: true, Resident: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ltx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ltx.LoadXML("d", strings.NewReader(repXML)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ltx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ro, err := db.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Rollback()
+	doc, err := ro.Document("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the page reads a full build performs; the walk is deterministic,
+	// so the same reads recur on every attempt.
+	counter := &flakyReader{inner: ro.Tx, n: 1 << 30}
+	full, err := resident.Build(counter, doc, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := counter.reads
+	if total == 0 {
+		t.Fatal("build performed no page reads")
+	}
+	for n := 0; n < total; n++ {
+		rep, err := resident.Build(&flakyReader{inner: ro.Tx, n: n}, doc, 1, 1)
+		if err == nil {
+			t.Fatalf("build with %d/%d reads available: got rep with %d nodes (want %d) and nil error",
+				n, total, len(rep.Nodes), len(full.Nodes))
+		}
 	}
 }
