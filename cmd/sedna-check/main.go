@@ -114,6 +114,9 @@ func printMetricsSummary(db *core.Database) {
 	if s.Counters["resident.builds"] > 0 || s.Counters["resident.hits"] > 0 {
 		row("resident", "resident.builds", "resident.hits", "resident.fallbacks", "resident.invalidations", "resident.evictions", "resident.bytes")
 	}
+	if s.Counters["opt.plans_costed"] > 0 {
+		row("opt", "opt.plans_costed", "opt.index_chosen", "opt.index_probes", "opt.est_error_pct")
+	}
 	row("pagefile", "pagefile.reads", "pagefile.writes", "pagefile.extends")
 	row("wal", "wal.appends", "wal.fsyncs", "wal.fsync_ns")
 	row("txn", "txn.begins", "txn.begins_readonly", "txn.commits", "txn.aborts")

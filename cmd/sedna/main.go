@@ -24,8 +24,10 @@
 //	\cluster      merged view: replication topology + local sessions
 //	\q            quit
 //
-// EXPLAIN <stmt> and PROFILE <stmt> are regular statements — end them with
-// ';' like any query.
+// EXPLAIN <stmt>, PROFILE <stmt> and ANALYZE doc("name") are regular
+// statements — end them with ';' like any query. ANALYZE collects the value
+// histograms the cost-based optimizer plans from; EXPLAIN then shows the
+// costed alternatives per step and PROFILE the estimated vs actual rows.
 package main
 
 import (

@@ -68,6 +68,30 @@ func QueryWorkers(db *sedna.DB, src string, workers int) (string, query.ExecStat
 	return sb.String(), ctx.Profile.ExecStats, nil
 }
 
+// QueryOpt runs a query with the cost-based optimizer on or off, under an
+// explicit worker budget (0 = let the plan / database default decide),
+// returning the result data plus executor stats — the E23 measurement
+// harness for optimized vs hand-forced plans.
+func QueryOpt(db *sedna.DB, src string, optimize bool, workers int) (string, query.ExecStats, error) {
+	tx, err := db.Internal().BeginReadOnly()
+	if err != nil {
+		return "", query.ExecStats{}, err
+	}
+	defer tx.Rollback()
+	ctx := query.NewExecCtx(tx)
+	ctx.NoOpt = !optimize
+	ctx.Workers = workers
+	res, err := query.Execute(ctx, src)
+	if err != nil {
+		return "", query.ExecStats{}, err
+	}
+	var sb strings.Builder
+	if err := res.Serialize(&sb); err != nil {
+		return "", query.ExecStats{}, err
+	}
+	return sb.String(), ctx.Profile.ExecStats, nil
+}
+
 // OpenDBPrefetch reopens a database directory with an explicit default
 // chain-readahead depth. The buffer pool starts empty, so the first scan
 // after opening runs against a cold cache — the E19 measurement setup.

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"sedna/internal/opt"
 	"sedna/internal/sas"
 	"sedna/internal/schema"
 	"sedna/internal/storage"
@@ -30,12 +31,17 @@ type IndexMeta struct {
 	Root    sas.XPtr
 }
 
-// Catalog tracks every document and index in the database.
+// Catalog tracks every document and index in the database, plus the
+// optimizer state attached to documents: the ANALYZE statistics snapshots
+// (persisted through the meta file) and the live access/update activity
+// counters (advisory, reset on restart).
 type Catalog struct {
 	mu        sync.RWMutex
 	docs      map[string]*storage.Doc
 	docsByID  map[uint32]*storage.Doc
 	indexes   map[string]*IndexMeta
+	stats     map[string]*opt.DocStats
+	activity  map[string]*opt.Activity
 	nextDocID uint32
 }
 
@@ -45,6 +51,8 @@ func NewCatalog() *Catalog {
 		docs:      make(map[string]*storage.Doc),
 		docsByID:  make(map[uint32]*storage.Doc),
 		indexes:   make(map[string]*IndexMeta),
+		stats:     make(map[string]*opt.DocStats),
+		activity:  make(map[string]*opt.Activity),
 		nextDocID: 1,
 	}
 }
@@ -105,6 +113,8 @@ func (c *Catalog) Delete(name string) {
 		delete(c.docsByID, d.ID)
 		delete(c.docs, name)
 	}
+	delete(c.stats, name)
+	delete(c.activity, name)
 }
 
 // Index returns index metadata by name.
@@ -143,6 +153,55 @@ func (c *Catalog) IndexesOf(docName string) []*IndexMeta {
 	return out
 }
 
+// DocStats returns the ANALYZE statistics snapshot for a document, or nil
+// when the document has never been analyzed.
+func (c *Catalog) DocStats(docName string) *opt.DocStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats[docName]
+}
+
+// PutDocStats installs (or, with nil, clears) a document's statistics
+// snapshot. Snapshots are immutable after installation; ANALYZE replaces the
+// whole value.
+func (c *Catalog) PutDocStats(docName string, s *opt.DocStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s == nil {
+		delete(c.stats, docName)
+		return
+	}
+	c.stats[docName] = s
+}
+
+// Activity returns the document's live activity counters, creating them on
+// first use. The counters are advisory and reset on restart.
+func (c *Catalog) Activity(docName string) *opt.Activity {
+	c.mu.RLock()
+	a := c.activity[docName]
+	c.mu.RUnlock()
+	if a != nil {
+		return a
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if a = c.activity[docName]; a == nil {
+		a = &opt.Activity{}
+		c.activity[docName] = a
+	}
+	return a
+}
+
+// NoteUpdate records one committed update transaction touching the document.
+func (c *Catalog) NoteUpdate(docName string) {
+	c.Activity(docName).Updates.Add(1)
+}
+
+// NoteAccess records one statement resolving the document.
+func (c *Catalog) NoteAccess(docName string) {
+	c.Activity(docName).Accesses.Add(1)
+}
+
 // ---- catalog snapshot (the meta.<gen> file written at every checkpoint) ----
 
 type metaDoc struct {
@@ -160,6 +219,7 @@ type metaFile struct {
 	FreeList  []sas.PageID
 	Docs      []metaDoc
 	Indexes   []IndexMeta
+	Stats     map[string]*opt.DocStats
 }
 
 func metaPath(dir string, gen uint64) string {
@@ -180,6 +240,14 @@ func saveMeta(dir string, gen uint64, c *Catalog, freeList []sas.PageID) error {
 	}
 	for _, ix := range c.indexes {
 		mf.Indexes = append(mf.Indexes, *ix)
+	}
+	if len(c.stats) > 0 {
+		mf.Stats = make(map[string]*opt.DocStats, len(c.stats))
+		for n, s := range c.stats {
+			if _, ok := c.docs[n]; ok {
+				mf.Stats[n] = s
+			}
+		}
 	}
 	c.mu.RUnlock()
 	sort.Slice(mf.Docs, func(i, j int) bool { return mf.Docs[i].ID < mf.Docs[j].ID })
@@ -235,6 +303,11 @@ func loadMeta(dir string, gen uint64) (*Catalog, []sas.PageID, error) {
 	for i := range mf.Indexes {
 		ix := mf.Indexes[i]
 		c.indexes[ix.Name] = &ix
+	}
+	for n, s := range mf.Stats {
+		if _, ok := c.docs[n]; ok {
+			c.stats[n] = s
+		}
 	}
 	return c, mf.FreeList, nil
 }

@@ -446,6 +446,9 @@ func (t *Tx) Commit() error {
 			for i, doc := range touched {
 				t.db.docVers.publish(doc.Name, cts, clones[i], minSnap)
 				t.db.resCache.Invalidate(doc.Name)
+				// Feed the optimizer's staleness clock: one committed update
+				// transaction per touched document.
+				t.db.catalog.NoteUpdate(doc.Name)
 			}
 			for _, name := range t.pendingDrops {
 				t.db.docVers.publish(name, cts, nil, minSnap)
@@ -548,14 +551,39 @@ func (t *Tx) DropDocument(name string) error {
 	return nil
 }
 
+// residentHotAccesses is how many statement accesses a document needs before
+// the residency advisor promotes it without the global resident switch.
+const residentHotAccesses = 32
+
+// advisorHot reports whether the residency advisor wants doc resident even
+// with the global switch off: the document has fresh ANALYZE statistics (so
+// we know its shape and that it is not churning) and enough accesses to
+// amortize the build.
+func (db *Database) advisorHot(name string) bool {
+	s := db.catalog.DocStats(name)
+	if s == nil {
+		return false
+	}
+	a := db.catalog.Activity(name)
+	if s.Stale(a.Updates.Load()) {
+		return false
+	}
+	return a.Accesses.Load() >= residentHotAccesses
+}
+
 // ResidentFor returns the resident representation of doc for this
 // transaction's snapshot, or nil when the document must be served paged:
-// resident mode off, update transaction, unversioned document, build
-// failure, budget overflow, or a replication barrier. The cache builds at
-// most once per committed version and validates shared representations by
-// commit timestamp.
+// update transaction, unversioned document, build failure, budget overflow,
+// or a replication barrier. Residency triggers either globally (the
+// -resident switch) or per document via the advisor: analyzed, not stale,
+// and hot enough (≥ residentHotAccesses statement accesses). The cache
+// builds at most once per committed version and validates shared
+// representations by commit timestamp.
 func (t *Tx) ResidentFor(doc *storage.Doc) *resident.Rep {
-	if !t.db.Resident() || !t.ReadOnly() {
+	if !t.ReadOnly() {
+		return nil
+	}
+	if !t.db.Resident() && !t.db.advisorHot(doc.Name) {
 		return nil
 	}
 	snap := t.SnapshotTS()

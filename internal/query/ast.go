@@ -7,7 +7,11 @@
 // open-next-close interface over the schema-driven storage.
 package query
 
-import "fmt"
+import (
+	"fmt"
+
+	"sedna/internal/opt"
+)
 
 // Expr is any expression of the operation tree.
 type Expr interface {
@@ -115,6 +119,41 @@ type Step struct {
 	// (descending axes from a document node, no predicates), enabling the
 	// schema-level evaluation of §5.1.4.
 	Structural bool
+
+	// Plan is the cost-based optimizer's physical decision for this step
+	// (nil when the optimizer did not run or had nothing to decide).
+	Plan *StepPlan
+}
+
+// StepPlan is one step's costed physical plan: the estimated output
+// cardinality, the alternatives considered (EXPLAIN renders them), and the
+// chosen access method.
+type StepPlan struct {
+	EstRows float64
+	Alts    []opt.Alt
+
+	// Probe, when set, replaces the step's evaluation with a value-index
+	// probe plus a full predicate recheck.
+	Probe *IndexProbe
+
+	// Workers is the planned fan-out for a structural scan: 0 = no decision
+	// (executor heuristics apply), 1 = forced serial, ≥2 = parallel with
+	// that many workers.
+	Workers int
+
+	// blocks is the estimated chain-block volume behind the step, kept for
+	// the optimizer's prefetch decision.
+	blocks float64
+}
+
+// IndexProbe is a planned value-index access: probe the named index with
+// the comparison, then recheck the step's predicates on the candidates.
+type IndexProbe struct {
+	Index    string
+	Op       opt.CmpOp
+	IsString bool
+	S        string
+	F        float64
 }
 
 // Filter is a primary expression with predicates, e.g. (expr)[p].
@@ -338,6 +377,7 @@ const (
 	DDLDropDocument
 	DDLCreateIndex
 	DDLDropIndex
+	DDLAnalyze
 )
 
 // DDL is a data-definition statement.

@@ -7,6 +7,7 @@ import (
 	"sedna/internal/core"
 	"sedna/internal/index"
 	"sedna/internal/lock"
+	"sedna/internal/opt"
 	"sedna/internal/sas"
 	"sedna/internal/schema"
 	"sedna/internal/storage"
@@ -46,6 +47,9 @@ func execDDL(d *DDL, e *env) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("index %q dropped", d.Name), nil
+
+	case DDLAnalyze:
+		return analyzeDocument(e, d.Name)
 
 	default:
 		return "", fmt.Errorf("query: unknown DDL kind %d", d.Kind)
@@ -96,14 +100,16 @@ func createIndex(e *env, d *DDL) (string, error) {
 		}
 		outerErr = storage.ScanSchema(e.r, sn, func(desc storage.Desc) (bool, error) {
 			node := &NodeItem{Doc: doc, D: desc}
-			key, ok, err := indexKeyOf(e, node, bySteps, meta.KeyType)
+			keys, err := indexKeysOf(e, node, bySteps, meta.KeyType)
 			if err != nil {
 				return false, err
 			}
-			if ok {
+			for _, key := range keys {
 				if err := tree.Insert(w, key, desc.Handle); err != nil {
 					return false, err
 				}
+			}
+			if len(keys) > 0 {
 				count++
 			}
 			return true, nil
@@ -126,6 +132,77 @@ func createIndex(e *env, d *DDL) (string, error) {
 		return "", err
 	}
 	return fmt.Sprintf("index %q created over %d node(s)", d.Name, count), nil
+}
+
+// analyzeDocument rebuilds a document's optimizer statistics: an equi-depth
+// value histogram plus distinct count per value-bearing schema node
+// (attributes and text), total node count and average chain length. The
+// snapshot is advisory — it is installed in the catalog immediately (and
+// rolled back with the transaction), persisted at the next checkpoint, and
+// lost on crash; a stale or missing snapshot only costs plan quality, never
+// correctness.
+func analyzeDocument(e *env, docName string) (string, error) {
+	tx := e.ctx.Tx
+	doc, err := tx.Document(docName)
+	if err != nil {
+		return "", err
+	}
+	// Shared lock: ANALYZE reads every value in the document and must not
+	// interleave with a writer's uncommitted state.
+	if err := tx.LockDocument(docName, lock.Shared); err != nil {
+		return "", err
+	}
+	cat := tx.DB().Catalog()
+
+	stats := &opt.DocStats{Cols: make(map[uint32]*opt.ColStats)}
+	var totalNodes, totalBlocks, chains uint64
+	var scanErr error
+	cols := 0
+	doc.Schema.Root.Walk(func(sn *schema.Node) {
+		if scanErr != nil {
+			return
+		}
+		totalNodes += sn.NodeCount
+		if sn.BlockCount > 0 {
+			totalBlocks += uint64(sn.BlockCount)
+			chains++
+		}
+		if sn.Kind != schema.KindAttribute && sn.Kind != schema.KindText {
+			return
+		}
+		var values []string
+		scanErr = storage.ScanSchema(e.r, sn, func(desc storage.Desc) (bool, error) {
+			if err := e.ctx.checkKilled(); err != nil {
+				return false, err
+			}
+			b, err := storage.Text(e.r, &desc)
+			if err != nil {
+				return false, err
+			}
+			values = append(values, string(b))
+			return true, nil
+		})
+		if scanErr != nil {
+			return
+		}
+		if len(values) > 0 {
+			stats.Cols[sn.ID] = opt.BuildCol(values)
+			cols++
+		}
+	})
+	if scanErr != nil {
+		return "", scanErr
+	}
+	stats.AnalyzedNodes = totalNodes
+	if chains > 0 {
+		stats.AvgChain = float64(totalBlocks) / float64(chains)
+	}
+	stats.UpdateBase = cat.Activity(docName).Updates.Load()
+
+	prev := cat.DocStats(docName)
+	cat.PutDocStats(docName, stats)
+	tx.Defer(func() { cat.PutDocStats(docName, prev) })
+	return fmt.Sprintf("document %q analyzed: %d node(s), %d column(s)", docName, totalNodes, cols), nil
 }
 
 func dropIndex(e *env, name string) error {
@@ -215,9 +292,11 @@ func parseRelPath(s string) (Expr, error) {
 	return ParseExpr(s)
 }
 
-// indexKeyOf evaluates the BY path relative to the node and normalizes the
-// first resulting value into an index key.
-func indexKeyOf(e *env, node *NodeItem, bySteps []*Step, keyType string) (index.Key, bool, error) {
+// indexKeysOf evaluates the BY path relative to the node and normalizes
+// every resulting value into an index key (deduplicated): a node whose BY
+// path yields several values is indexed under each of them, matching the
+// existential semantics of general comparisons.
+func indexKeysOf(e *env, node *NodeItem, bySteps []*Step, keyType string) ([]index.Key, error) {
 	items := []Item{node}
 	for _, st := range bySteps {
 		var next []Item
@@ -229,26 +308,38 @@ func indexKeyOf(e *env, node *NodeItem, bySteps []*Step, keyType string) (index.
 			var err error
 			next, err = axisStored(e, n, st.Axis, st.Test, next)
 			if err != nil {
-				return index.Key{}, false, err
+				return nil, err
 			}
 		}
 		items = next
 		if len(items) == 0 {
-			return index.Key{}, false, nil
+			return nil, nil
 		}
 	}
-	a, err := atomize(e, items[0])
-	if err != nil {
-		return index.Key{}, false, err
+	keys := make([]index.Key, 0, len(items))
+	seen := make(map[index.Key]struct{}, len(items))
+	for _, it := range items {
+		a, err := atomize(e, it)
+		if err != nil {
+			return nil, err
+		}
+		k := index.KeyFor(keyType, a.StringValue(), a.NumberValue())
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
 	}
-	return index.KeyFor(keyType, a.StringValue(), a.NumberValue()), true, nil
+	return keys, nil
 }
 
 // evalIndexScan implements the Sedna index-scan("name", value) function:
-// cost-based index selection is future work in the paper, so index access
-// is explicit, as in the original system.
+// the paper keeps index access explicit; the cost-based optimizer's probe
+// plans reuse the same machinery through evalIndexProbe.
 func evalIndexScan(e *env, name string, value *Atomic) ([]Item, error) {
 	e.ctx.stats().AddIndexScans(1)
+	sp := e.ctx.pushSpan("index-scan " + name)
+	defer e.ctx.popSpan(sp)
 	meta, ok := e.ctx.Tx.DB().Catalog().Index(name)
 	if !ok {
 		return nil, fmt.Errorf("query: index %q does not exist", name)
@@ -272,40 +363,36 @@ func evalIndexScan(e *env, name string, value *Atomic) ([]Item, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.SetInt("candidates", int64(len(handles)))
 	var out []Item
+	seen := make(map[sas.XPtr]struct{}, len(handles))
 	for _, h := range handles {
+		if _, dup := seen[h]; dup {
+			continue
+		}
+		seen[h] = struct{}{}
 		d, err := storage.DescOf(e.r, h)
 		if err != nil {
 			return nil, err
 		}
 		node := &NodeItem{Doc: doc, D: d}
-		// Recheck: the fixed-size key prefix is imprecise for long strings.
-		items := []Item{node}
-		var exact bool
-		k2, ok2, err := indexKeyOf(e, node, bySteps, meta.KeyType)
+		match, err := byPathMatchesEq(e, node, bySteps, meta.KeyType, key, value)
 		if err != nil {
 			return nil, err
 		}
-		exact = ok2 && k2 == key
-		if !exact {
-			continue
+		if match {
+			out = append(out, node)
 		}
-		if meta.KeyType == "string" {
-			// Verify the full value, not just the prefix.
-			v, err := atomizeByPath(e, node, bySteps)
-			if err != nil {
-				return nil, err
-			}
-			if v == nil || v.StringValue() != value.StringValue() {
-				continue
-			}
-		}
-		out = append(out, items[0])
 	}
+	sp.SetInt("nodes", int64(len(out)))
 	return out, nil
 }
 
-func atomizeByPath(e *env, node *NodeItem, bySteps []*Step) (*Atomic, error) {
+// byPathMatchesEq rechecks one index candidate against the probe value: the
+// BY path may yield several values (existential semantics), and the
+// fixed-size key prefix is imprecise for long strings, so string keys verify
+// the full value.
+func byPathMatchesEq(e *env, node *NodeItem, bySteps []*Step, keyType string, key index.Key, value *Atomic) (bool, error) {
 	items := []Item{node}
 	for _, st := range bySteps {
 		var next []Item
@@ -317,15 +404,28 @@ func atomizeByPath(e *env, node *NodeItem, bySteps []*Step) (*Atomic, error) {
 			var err error
 			next, err = axisStored(e, n, st.Axis, st.Test, next)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 		}
 		items = next
+		if len(items) == 0 {
+			return false, nil
+		}
 	}
-	if len(items) == 0 {
-		return nil, nil
+	for _, it := range items {
+		a, err := atomize(e, it)
+		if err != nil {
+			return false, err
+		}
+		if index.KeyFor(keyType, a.StringValue(), a.NumberValue()) != key {
+			continue
+		}
+		if keyType == "string" && a.StringValue() != value.StringValue() {
+			continue
+		}
+		return true, nil
 	}
-	return atomize(e, items[0])
+	return false, nil
 }
 
 // pathString renders a structural path expression back to source form for

@@ -249,7 +249,11 @@ func evalDoc(e *env, name string) ([]Item, error) {
 // (including nested input steps); the disabled path costs one nil check.
 func evalStep(s *Step, e *env, f *focus) ([]Item, error) {
 	if e.ctx.span == nil {
-		return evalStepInner(s, e, f)
+		out, err := evalStepInner(s, e, f)
+		if err == nil && s.Plan != nil {
+			recordEstimate(e.ctx, s.Plan.EstRows, len(out))
+		}
+		return out, err
 	}
 	sp := e.ctx.pushSpan("step " + stepText(s))
 	var pages0 uint64
@@ -264,6 +268,14 @@ func evalStep(s *Step, e *env, f *focus) ([]Item, error) {
 	if s.Structural {
 		sp.SetStr("mode", "structural")
 	}
+	if s.Plan != nil {
+		// Estimated vs actual rows: the misestimate is visible per step in
+		// PROFILE and aggregated in the opt.est_error_pct histogram.
+		sp.SetInt("est_rows", int64(s.Plan.EstRows+0.5))
+		if err == nil {
+			recordEstimate(e.ctx, s.Plan.EstRows, len(out))
+		}
+	}
 	if k := e.ctx.storageKind(out); k != "" {
 		sp.SetStr("storage", k)
 	}
@@ -272,6 +284,17 @@ func evalStep(s *Step, e *env, f *focus) ([]Item, error) {
 }
 
 func evalStepInner(s *Step, e *env, f *focus) ([]Item, error) {
+	if s.Plan != nil && s.Plan.Probe != nil {
+		out, handled, err := evalIndexProbe(s, e)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			return out, nil
+		}
+		// Index or document vanished since planning: fall through to the
+		// ordinary evaluation paths.
+	}
 	if s.Structural {
 		return evalStructural(s, e, f)
 	}

@@ -27,6 +27,9 @@ type ExecCtx struct {
 
 	// NoRewrite disables the optimizing rewriter (baseline for E5–E8).
 	NoRewrite bool
+	// NoOpt disables the cost-based optimizer: no step plans, no automatic
+	// index probes, no costed fan-out or prefetch (baseline for E23).
+	NoOpt bool
 	// NoVirtualCtors disables the virtual-constructor optimisation
 	// (baseline for E9).
 	NoVirtualCtors bool
@@ -96,6 +99,11 @@ type execShared struct {
 	residentDocs  int
 	pagedDocs     int
 	prefetchDepth int
+
+	// plannedWorkers is the cost-based optimizer's chosen fan-out width for
+	// this statement (0 = no decision); pool() consults it when the context
+	// has no explicit Workers cap.
+	plannedWorkers int
 }
 
 // ErrKilled is returned by a statement terminated through ExecCtx.Kill. The
@@ -177,6 +185,7 @@ func (ctx *ExecCtx) fork(span *trace.Span) *ExecCtx {
 	return &ExecCtx{
 		Tx:             ctx.Tx,
 		NoRewrite:      ctx.NoRewrite,
+		NoOpt:          ctx.NoOpt,
 		NoVirtualCtors: ctx.NoVirtualCtors,
 		Workers:        ctx.Workers,
 		PrefetchDepth:  ctx.PrefetchDepth,
@@ -411,6 +420,13 @@ func executeStatement(ctx *ExecCtx, st *Statement) (*Result, error) {
 		Rewrite(st)
 		ctx.popSpan(rsp)
 	}
+	if ctx.NoOpt || ctx.NoRewrite {
+		clearPlans(st)
+	} else {
+		osp := ctx.pushSpan("optimize")
+		optimizeStatement(ctx, st)
+		ctx.popSpan(osp)
+	}
 	ctx.Profile.OptimizeNs = time.Since(optStart).Nanoseconds()
 	execStart := time.Now()
 	esp := ctx.pushSpan("execute")
@@ -467,6 +483,11 @@ func execExplain(ctx *ExecCtx, inner *Statement) (*Result, error) {
 	}
 	if !ctx.NoRewrite {
 		Rewrite(inner)
+	}
+	if ctx.NoOpt || ctx.NoRewrite {
+		clearPlans(inner)
+	} else {
+		optimizeStatement(ctx, inner)
 	}
 	if ctx.NoVirtualCtors {
 		clearVirtualFlags(inner)

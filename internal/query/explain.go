@@ -136,6 +136,7 @@ func ExplainTextStorage(st *Statement, storageHint string) string {
 	switch {
 	case st.Query != nil:
 		p.writePlan(&sb, st.Query, 1)
+		p.writeCosts(&sb)
 	case st.Update != nil:
 		fmt.Fprintf(&sb, "  update kind=%d\n", int(st.Update.Kind))
 		sb.WriteString("  target:\n")
@@ -160,14 +161,36 @@ func indent(w io.Writer, depth int) {
 	}
 }
 
-// planPrinter carries rendering options through the recursive plan walk.
+// planPrinter carries rendering options through the recursive plan walk and
+// collects the costed steps it encounters for the trailing costs table.
 type planPrinter struct {
-	storage string // per-step storage-backend annotation ("" = none)
+	storage string  // per-step storage-backend annotation ("" = none)
+	costed  []*Step // steps with a cost-based plan, in render order
+}
+
+// writeCosts appends the optimizer's costed-alternatives table: one block per
+// planned step listing every alternative with its estimated rows and cost,
+// the chosen one marked ✓. Empty when no statistics informed the plan.
+func (p *planPrinter) writeCosts(w io.Writer) {
+	if len(p.costed) == 0 {
+		return
+	}
+	io.WriteString(w, "costs:\n")
+	for _, s := range p.costed {
+		fmt.Fprintf(w, "  step %s:\n", stepText(s))
+		for _, a := range s.Plan.Alts {
+			mark := " "
+			if a.Chosen {
+				mark = "✓"
+			}
+			fmt.Fprintf(w, "    %s %-22s est rows %10.0f  cost %12.1f\n", mark, a.Name, a.EstRows, a.Cost)
+		}
+	}
 }
 
 // writePlan renders one expression subtree, children indented under their
 // parent, rewriter flags in brackets.
-func (p planPrinter) writePlan(w io.Writer, x Expr, depth int) {
+func (p *planPrinter) writePlan(w io.Writer, x Expr, depth int) {
 	if x == nil {
 		return
 	}
@@ -200,6 +223,15 @@ func (p planPrinter) writePlan(w io.Writer, x Expr, depth int) {
 		}
 		if p.storage != "" {
 			flags = append(flags, "storage="+p.storage)
+		}
+		if n.Plan != nil {
+			for _, a := range n.Plan.Alts {
+				if a.Chosen {
+					flags = append(flags, "plan="+a.Name)
+					break
+				}
+			}
+			p.costed = append(p.costed, n)
 		}
 		fmt.Fprintf(w, "step %s%s\n", stepText(n), flagText(flags))
 		p.writePlan(w, n.Input, depth+1)

@@ -94,6 +94,16 @@ func (ctx *ExecCtx) pool() *workerPool {
 	sh := ctx.shared()
 	sh.poolOnce.Do(func() {
 		n := ctx.Workers
+		if n <= 0 && sh.plannedWorkers >= 2 {
+			// The cost-based optimizer sized the fan-out from estimated rows;
+			// the database-wide cap still bounds it.
+			n = sh.plannedWorkers
+			if ctx.Tx != nil && ctx.Tx.DB() != nil {
+				if dbw := ctx.Tx.DB().QueryWorkers(); dbw < n {
+					n = dbw
+				}
+			}
+		}
 		if n <= 0 && ctx.Tx != nil && ctx.Tx.DB() != nil {
 			n = ctx.Tx.DB().QueryWorkers()
 		}

@@ -78,6 +78,12 @@ func (p *parser) parseStatement(src string, allowExplain bool) (*Statement, erro
 			return nil, err
 		}
 		st.DDL = d
+	case t.kind == tokName && t.text == "ANALYZE":
+		d, err := p.parseAnalyze()
+		if err != nil {
+			return nil, err
+		}
+		st.DDL = d
 	default:
 		e, err := p.parseExpr()
 		if err != nil {

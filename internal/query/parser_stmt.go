@@ -165,6 +165,24 @@ func (p *parser) parseDDL() (*DDL, error) {
 	}
 }
 
+// parseAnalyze parses `ANALYZE doc("name")`: a full statistics rebuild for
+// one document, feeding the cost-based optimizer.
+func (p *parser) parseAnalyze() (*DDL, error) {
+	verb, err := p.l.next() // ANALYZE
+	if err != nil {
+		return nil, err
+	}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	doc := findDocCall(path)
+	if doc == nil {
+		return nil, p.l.errf(verb.pos, "ANALYZE requires doc(...)")
+	}
+	return &DDL{Kind: DDLAnalyze, Name: doc.Name, DocName: doc.Name}, nil
+}
+
 func (p *parser) stringArg() (string, error) {
 	t, err := p.l.next()
 	if err != nil {

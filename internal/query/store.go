@@ -85,6 +85,11 @@ func (e *env) storeFor(doc *storage.Doc) docStore {
 			sh.stores = make(map[uint32]docStore)
 		}
 		sh.stores[doc.ID] = st
+		if e.ctx.Tx != nil && e.ctx.Tx.DB() != nil {
+			// One access per statement and document: the residency advisor's
+			// hotness signal.
+			e.ctx.Tx.DB().Catalog().NoteAccess(doc.Name)
+		}
 		if st.kind() == storageResident {
 			sh.residentDocs++
 		} else {

@@ -115,10 +115,14 @@ func evalStructural(s *Step, e *env, f *focus) ([]Item, error) {
 		})
 		return out, err
 	}
-	if merged, ok, err := parallelStreams(e, doc, targets, st, &docNode.D, nil); err != nil {
-		return nil, err
-	} else if ok {
-		return merged, nil
+	// A costed plan that chose serial execution (fan-out startup would
+	// outweigh the scan) overrides the size heuristics below.
+	if s.Plan == nil || s.Plan.Workers != 1 {
+		if merged, ok, err := parallelStreams(e, doc, targets, st, &docNode.D, nil); err != nil {
+			return nil, err
+		} else if ok {
+			return merged, nil
+		}
 	}
 	streams := make([]descStream, 0, len(targets))
 	for _, sn := range targets {

@@ -254,10 +254,24 @@ func maintainIndexes(e *env, doc *storage.Doc, handles []sas.XPtr, insert bool) 
 		return nil
 	}
 	w, _ := e.r.(storage.Writer)
+	handleSet := make(map[sas.XPtr]struct{}, len(handles))
+	for _, h := range handles {
+		handleSet[h] = struct{}{}
+	}
 	for _, meta := range metas {
 		onSet, bySteps, err := indexPaths(e, doc, meta)
 		if err != nil {
 			return err
+		}
+		// Schema nodes the BY path can land on under some ON node: touching
+		// one of these changes the key set of its owning ON ancestor.
+		byTargets := make(map[uint32]bool)
+		for id := range onSet {
+			if sn := doc.Schema.ByID(id); sn != nil {
+				for _, bn := range resolveStructural(sn, bySteps) {
+					byTargets[bn.ID] = true
+				}
+			}
 		}
 		tree := &index.Tree{Root: meta.Root}
 		changed := false
@@ -267,26 +281,57 @@ func maintainIndexes(e *env, doc *storage.Doc, handles []sas.XPtr, insert bool) 
 				return err
 			}
 			sn := doc.Schema.ByID(d.SchemaID)
-			if sn == nil || !onSet[sn.ID] {
+			if sn == nil {
 				continue
 			}
-			node := &NodeItem{Doc: doc, D: d}
-			key, ok, err := indexKeyOf(e, node, bySteps, meta.KeyType)
-			if err != nil {
-				return err
+			switch {
+			case onSet[sn.ID]:
+				node := &NodeItem{Doc: doc, D: d}
+				keys, err := indexKeysOf(e, node, bySteps, meta.KeyType)
+				if err != nil {
+					return err
+				}
+				for _, key := range keys {
+					if insert {
+						err = tree.Insert(w, key, h)
+					} else {
+						err = tree.Delete(w, key, h)
+					}
+					if err != nil {
+						return err
+					}
+					changed = true
+				}
+			case byTargets[sn.ID]:
+				// A BY-path value appeared or vanished under an existing ON
+				// node: (un)register this one value against the owner. When
+				// the owner itself is in the batch, its branch above already
+				// covers every value — doing both would double-count.
+				owner, err := onAncestor(e, doc, d, onSet)
+				if err != nil {
+					return err
+				}
+				if owner.IsNil() {
+					continue
+				}
+				if _, busy := handleSet[owner]; busy {
+					continue
+				}
+				a, err := atomize(e, &NodeItem{Doc: doc, D: d})
+				if err != nil {
+					return err
+				}
+				key := index.KeyFor(meta.KeyType, a.StringValue(), a.NumberValue())
+				if insert {
+					err = tree.Insert(w, key, owner)
+				} else {
+					err = tree.Delete(w, key, owner)
+				}
+				if err != nil {
+					return err
+				}
+				changed = true
 			}
-			if !ok {
-				continue
-			}
-			if insert {
-				err = tree.Insert(w, key, h)
-			} else {
-				err = tree.Delete(w, key, h)
-			}
-			if err != nil {
-				return err
-			}
-			changed = true
 		}
 		if changed && tree.Root != meta.Root {
 			meta.Root = tree.Root
@@ -296,4 +341,21 @@ func maintainIndexes(e *env, doc *storage.Doc, handles []sas.XPtr, insert bool) 
 		}
 	}
 	return nil
+}
+
+// onAncestor walks a node's parent chain up to the nearest ancestor whose
+// schema node belongs to the index's ON set; nil when there is none.
+func onAncestor(e *env, doc *storage.Doc, d storage.Desc, onSet map[uint32]bool) (sas.XPtr, error) {
+	cur := d.Parent
+	for !cur.IsNil() {
+		pd, err := storage.DescOf(e.r, cur)
+		if err != nil {
+			return sas.NilPtr, err
+		}
+		if onSet[pd.SchemaID] {
+			return pd.Handle, nil
+		}
+		cur = pd.Parent
+	}
+	return sas.NilPtr, nil
 }

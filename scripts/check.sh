@@ -26,7 +26,7 @@ go test ./...
 echo "== go test -race (concurrency-sensitive packages) =="
 go test -race ./internal/metrics ./internal/trace ./internal/buffer ./internal/wal \
     ./internal/txn ./internal/core ./internal/lock ./internal/server ./internal/query \
-    ./internal/repl ./internal/resident
+    ./internal/repl ./internal/resident ./internal/opt
 
 echo "== bench smoke (compile + one iteration of every benchmark) =="
 go test -bench=. -benchtime=1x -run '^$' .
@@ -39,5 +39,8 @@ go run ./cmd/sedna-bench -run E21
 
 echo "== resident-mode smoke (E22: resident vs paged, byte-identity, >=5x warm speedup) =="
 go run ./cmd/sedna-bench -run E22
+
+echo "== optimizer smoke (E23: costed plans vs hand-forced, <=1.1x regression, >=2x selective speedup) =="
+go run ./cmd/sedna-bench -run E23
 
 echo "check.sh: all green"
