@@ -92,6 +92,13 @@ func QueryOpt(db *sedna.DB, src string, optimize bool, workers int) (string, que
 	return sb.String(), ctx.Profile.ExecStats, nil
 }
 
+// OpenDBBulk opens a database with an explicit LoadXML ingest path — the
+// E24 measurement setup comparing the streaming bulk loader against
+// node-at-a-time inserts.
+func OpenDBBulk(dir string, reg *metrics.Registry, mode sedna.BulkLoadMode) (*sedna.DB, error) {
+	return sedna.Open(dir, &sedna.Options{NoSync: true, BufferPages: 8192, Metrics: reg, BulkLoad: mode})
+}
+
 // OpenDBPrefetch reopens a database directory with an explicit default
 // chain-readahead depth. The buffer pool starts empty, so the first scan
 // after opening runs against a cold cache — the E19 measurement setup.

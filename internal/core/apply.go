@@ -225,6 +225,16 @@ func applyRecord(t *Tx, r *wal.Record) error {
 		if ix, ok := db.catalog.Index(r.Name); ok {
 			ix.Root = r.Ptrs[0]
 		}
+	case wal.RecBulkLoad:
+		// The load's data arrived as whole-page images (re-applied above as
+		// ordinary page writes); re-log the marker so cascaded consumers of
+		// this replica's log still see the load as a load, and account it.
+		if err := t.LogRecord(&wal.Record{Type: wal.RecBulkLoad, DocID: r.DocID, Name: r.Name,
+			Nodes: r.Nodes, Blocks: r.Blocks, Bytes: r.Bytes}); err != nil {
+			return err
+		}
+		db.met.Counter("load.replicated_bulk_loads").Inc()
+		db.met.Counter("load.replicated_bulk_nodes").Add(r.Nodes)
 	case wal.RecBegin, wal.RecCommit, wal.RecAbort, wal.RecCheckpoint, wal.RecReplApplied:
 		// Transaction framing is handled by the caller; checkpoints and
 		// progress records are node-local and never applied across nodes.

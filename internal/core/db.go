@@ -72,6 +72,11 @@ type Options struct {
 	// ResidentBudget caps the total bytes of resident representations across
 	// documents (LRU-evicted beyond it). 0 uses resident.DefaultBudget.
 	ResidentBudget int64
+	// BulkLoad selects the document-ingest path for LoadXML: the default
+	// (BulkLoadAuto) streams freshly created documents through the direct
+	// block-construction bulk loader; BulkLoadOff forces the node-at-a-time
+	// insert path everywhere.
+	BulkLoad BulkLoadMode
 }
 
 // Database is an open Sedna database: one directory holding the data file,

@@ -14,12 +14,23 @@ import (
 // LoadXML parses the XML document from r and bulk-loads it under the given
 // document name within the transaction. Whitespace-only text nodes are
 // skipped unless the database was opened with KeepWhitespace.
+//
+// Because the document is freshly created here, the default ingest path is
+// the streaming bulk loader (direct block construction); Options.BulkLoad =
+// BulkLoadOff falls back to node-at-a-time inserts.
 func (t *Tx) LoadXML(name string, r io.Reader) (*storage.Doc, error) {
 	doc, err := t.CreateDocument(name)
 	if err != nil {
 		return nil, err
 	}
-	if err := t.LoadInto(doc, doc.RootHandle, r); err != nil {
+	if t.db.opts.BulkLoad == BulkLoadOff {
+		t.db.met.Counter("load.incremental_loads").Inc()
+		if err := t.LoadInto(doc, doc.RootHandle, r); err != nil {
+			return nil, err
+		}
+		return doc, nil
+	}
+	if err := t.bulkLoadInto(doc, r); err != nil {
 		return nil, err
 	}
 	return doc, nil
@@ -54,7 +65,7 @@ func (t *Tx) LoadInto(doc *storage.Doc, parent sas.XPtr, r io.Reader) error {
 			break
 		}
 		if err != nil {
-			return fmt.Errorf("core: parse XML: %w", err)
+			return parseErr(dec, err)
 		}
 		switch tk := tok.(type) {
 		case xml.StartElement:
@@ -74,7 +85,7 @@ func (t *Tx) LoadInto(doc *storage.Doc, parent sas.XPtr, r io.Reader) error {
 			}
 		case xml.EndElement:
 			if len(stack) == 1 {
-				return fmt.Errorf("core: unbalanced end element %s", xmlName(tk.Name))
+				return fmt.Errorf("core: unbalanced end element %s at byte %d", xmlName(tk.Name), dec.InputOffset())
 			}
 			stack = stack[:len(stack)-1]
 		case xml.CharData:

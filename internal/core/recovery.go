@@ -207,6 +207,9 @@ func (rs *redoState) apply(r *wal.Record) error {
 		if ix, ok := db.catalog.Index(r.Name); ok {
 			ix.Root = r.Ptrs[0]
 		}
+	case wal.RecBulkLoad:
+		// The load's whole-page images were already replayed physically;
+		// per-document counters are recomputed from block headers afterwards.
 	case wal.RecBegin, wal.RecCommit, wal.RecAbort:
 	}
 	return nil

@@ -98,6 +98,20 @@ func Bulk(parent Label, ordinal uint64) Label {
 	return Label{Prefix: p, Delim: Delim}
 }
 
+// BulkSpacing is the ordinal stride between consecutive siblings assigned
+// by the streaming bulk loader: sibling i gets the label of ordinal
+// i*BulkSpacing, leaving BulkSpacing-1 evenly pre-spaced ordinals between
+// any two loaded siblings so post-load insertions find room before Between
+// has to lengthen labels.
+const BulkSpacing = 16
+
+// BulkNth returns the label of the i-th (0-based) child of parent assigned
+// by the streaming bulk loader. Labels are strictly increasing in i and
+// pre-spaced by BulkSpacing; no midpoint derivation happens per node.
+func BulkNth(parent Label, i uint64) Label {
+	return Bulk(parent, i*BulkSpacing)
+}
+
 // encodeOrdinal encodes i as [lengthByte, digits...] with digits in
 // 0x04..0xFD (base 250) and lengthByte = 0x02+len(digits). Longer encodings
 // sort after shorter ones, so lexicographic order equals numeric order. The

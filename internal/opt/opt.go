@@ -62,6 +62,7 @@ type DocStats struct {
 	AnalyzedNodes uint64 // total document nodes at ANALYZE time
 	AvgChain      float64
 	UpdateBase    uint64 // Activity.Updates at ANALYZE time
+	Sampled       bool   // histograms built from reservoir samples, not full scans
 	Cols          map[uint32]*ColStats
 }
 
@@ -127,6 +128,45 @@ func BuildCol(values []string) *ColStats {
 		sort.Strings(ss)
 		c.StrBounds = equiDepthS(ss)
 	}
+	return c
+}
+
+// BuildColSampled computes column statistics from a uniform sample of a
+// column holding totalRows values. The histogram fences come straight from
+// the sample (equi-depth fences are sampling-stable), Rows is corrected to
+// the true count, and Distinct is extrapolated with the Duj1 estimator
+// (d / (1 - (f1/n)(1 - n/N)), f1 = sample values seen exactly once) — linear
+// scaling would wrongly inflate low-cardinality columns, and the raw sample
+// distinct would wrongly deflate unique ones.
+func BuildColSampled(values []string, totalRows uint64) *ColStats {
+	c := BuildCol(values)
+	n := uint64(len(values))
+	if n == 0 || totalRows <= n {
+		return c
+	}
+	counts := make(map[string]int, len(values))
+	for _, v := range values {
+		counts[v]++
+	}
+	f1 := 0
+	for _, k := range counts {
+		if k == 1 {
+			f1++
+		}
+	}
+	d, nf, tf := float64(len(counts)), float64(n), float64(totalRows)
+	est := d
+	if denom := 1 - (float64(f1)/nf)*(1-nf/tf); denom > 0 {
+		est = d / denom
+	}
+	if est > tf {
+		est = tf
+	}
+	if est < d {
+		est = d
+	}
+	c.Rows = totalRows
+	c.Distinct = uint64(est + 0.5)
 	return c
 }
 

@@ -141,6 +141,10 @@ type StepPlan struct {
 	// that many workers.
 	Workers int
 
+	// Sampled reports that the statistics behind the estimates came from a
+	// sampled ANALYZE (reservoir histograms); EXPLAIN annotates the step.
+	Sampled bool
+
 	// blocks is the estimated chain-block volume behind the step, kept for
 	// the optimizer's prefetch decision.
 	blocks float64

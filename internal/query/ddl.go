@@ -2,6 +2,7 @@ package query
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"sedna/internal/core"
@@ -134,13 +135,23 @@ func createIndex(e *env, d *DDL) (string, error) {
 	return fmt.Sprintf("index %q created over %d node(s)", d.Name, count), nil
 }
 
+// Sampled ANALYZE: documents above the node-count threshold build their
+// histograms from a per-column reservoir instead of a full value scan. The
+// descriptor chains are still walked (that is where the counts live), but
+// text — the expensive indirection — is only read for sampled nodes.
+const (
+	analyzeSampleThreshold = 20000 // document nodes above which ANALYZE samples
+	analyzeSampleSize      = 1024  // reservoir size per column
+)
+
 // analyzeDocument rebuilds a document's optimizer statistics: an equi-depth
 // value histogram plus distinct count per value-bearing schema node
-// (attributes and text), total node count and average chain length. The
-// snapshot is advisory — it is installed in the catalog immediately (and
-// rolled back with the transaction), persisted at the next checkpoint, and
-// lost on crash; a stale or missing snapshot only costs plan quality, never
-// correctness.
+// (attributes and text), total node count and average chain length. Large
+// documents are sampled (reservoir per column, Duj1 distinct extrapolation)
+// and the snapshot marked Sampled. The snapshot is advisory — it is
+// installed in the catalog immediately (and rolled back with the
+// transaction), persisted at the next checkpoint, and lost on crash; a stale
+// or missing snapshot only costs plan quality, never correctness.
 func analyzeDocument(e *env, docName string) (string, error) {
 	tx := e.ctx.Tx
 	doc, err := tx.Document(docName)
@@ -153,6 +164,12 @@ func analyzeDocument(e *env, docName string) (string, error) {
 		return "", err
 	}
 	cat := tx.DB().Catalog()
+
+	// Sampling is decided per document (counts come free from the schema),
+	// then applied to each column large enough to overflow a reservoir.
+	var docNodes uint64
+	doc.Schema.Root.Walk(func(sn *schema.Node) { docNodes += sn.NodeCount })
+	sampling := docNodes > analyzeSampleThreshold
 
 	stats := &opt.DocStats{Cols: make(map[uint32]*opt.ColStats)}
 	var totalNodes, totalBlocks, chains uint64
@@ -171,6 +188,46 @@ func analyzeDocument(e *env, docName string) (string, error) {
 			return
 		}
 		var values []string
+		if sampling && sn.NodeCount > analyzeSampleSize {
+			// Reservoir sampling (algorithm R). The inclusion decision is
+			// made before the text read, so skipped nodes cost nothing
+			// beyond the descriptor scan; the deterministic seed makes
+			// repeated ANALYZE runs of an unchanged document identical.
+			rng := rand.New(rand.NewSource(int64(sn.ID)))
+			values = make([]string, 0, analyzeSampleSize)
+			var idx int64
+			scanErr = storage.ScanSchema(e.r, sn, func(desc storage.Desc) (bool, error) {
+				if err := e.ctx.checkKilled(); err != nil {
+					return false, err
+				}
+				slot := -1
+				if len(values) < analyzeSampleSize {
+					slot = len(values)
+					values = append(values, "")
+				} else if j := rng.Int63n(idx + 1); j < analyzeSampleSize {
+					slot = int(j)
+				}
+				idx++
+				if slot < 0 {
+					return true, nil
+				}
+				b, err := storage.Text(e.r, &desc)
+				if err != nil {
+					return false, err
+				}
+				values[slot] = string(b)
+				return true, nil
+			})
+			if scanErr != nil {
+				return
+			}
+			if len(values) > 0 {
+				stats.Cols[sn.ID] = opt.BuildColSampled(values, sn.NodeCount)
+				stats.Sampled = true
+				cols++
+			}
+			return
+		}
 		scanErr = storage.ScanSchema(e.r, sn, func(desc storage.Desc) (bool, error) {
 			if err := e.ctx.checkKilled(); err != nil {
 				return false, err
@@ -202,7 +259,11 @@ func analyzeDocument(e *env, docName string) (string, error) {
 	prev := cat.DocStats(docName)
 	cat.PutDocStats(docName, stats)
 	tx.Defer(func() { cat.PutDocStats(docName, prev) })
-	return fmt.Sprintf("document %q analyzed: %d node(s), %d column(s)", docName, totalNodes, cols), nil
+	note := ""
+	if stats.Sampled {
+		note = " (sampled)"
+	}
+	return fmt.Sprintf("document %q analyzed%s: %d node(s), %d column(s)", docName, note, totalNodes, cols), nil
 }
 
 func dropIndex(e *env, name string) error {

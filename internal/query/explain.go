@@ -177,7 +177,11 @@ func (p *planPrinter) writeCosts(w io.Writer) {
 	}
 	io.WriteString(w, "costs:\n")
 	for _, s := range p.costed {
-		fmt.Fprintf(w, "  step %s:\n", stepText(s))
+		note := ""
+		if s.Plan.Sampled {
+			note = " [sampled=true]"
+		}
+		fmt.Fprintf(w, "  step %s:%s\n", stepText(s), note)
 		for _, a := range s.Plan.Alts {
 			mark := " "
 			if a.Chosen {

@@ -205,7 +205,7 @@ func planPredStep(ctx *ExecCtx, s *Step, doc *storage.Doc, targets []*schema.Nod
 		sel *= predSelectivity(targets, stats, pred)
 	}
 	estRows := nodes * sel
-	p := &StepPlan{EstRows: estRows, blocks: blocks}
+	p := &StepPlan{EstRows: estRows, blocks: blocks, Sampled: stats != nil && stats.Sampled}
 	alts := []opt.Alt{
 		{Name: opt.AltStructuralScan, EstRows: estRows, Cost: opt.ScanCost(blocks, nodes, len(s.Preds))},
 		{Name: opt.AltChainScan, EstRows: estRows, Cost: opt.ChainCost(blocks, nodes)},

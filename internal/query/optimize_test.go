@@ -100,6 +100,89 @@ func TestAnalyzeStatement(t *testing.T) {
 	}
 }
 
+// TestAnalyzeSampled checks the sampled ANALYZE path: a document above the
+// node-count threshold builds its histograms from per-column reservoirs, the
+// snapshot and the EXPLAIN output say so, column Rows reflect the true (not
+// sampled) counts with a sane distinct extrapolation — and query results
+// never depend on how the statistics were gathered.
+func TestAnalyzeSampled(t *testing.T) {
+	// ~40k nodes: well above the sampling threshold. No indexes — the
+	// costed plan (and its annotation) comes from statistics alone.
+	sampledDB := func(items int) *core.Database {
+		db, err := core.Open(t.TempDir(), core.Options{NoSync: true, BufferPages: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { db.Close() })
+		tx, err := db.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tx.LoadXML("inv", strings.NewReader(invXML(items))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	db := sampledDB(6000)
+
+	res := upd(t, db, `ANALYZE doc("inv")`)
+	s, err := res.String()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "(sampled)") {
+		t.Fatalf("large-document ANALYZE not marked sampled: %s", s)
+	}
+	stats := db.Catalog().DocStats("inv")
+	if stats == nil || !stats.Sampled {
+		t.Fatalf("DocStats.Sampled not set: %+v", stats)
+	}
+	// The v column holds 6000 + 2000 values; sampling must still report the
+	// true row count and an extrapolated distinct near the real 10.
+	found := false
+	for _, c := range stats.Cols {
+		if c.Rows == 8000 {
+			found = true
+			if c.Distinct < 5 || c.Distinct > 200 {
+				t.Fatalf("sampled distinct estimate off: %d (true 10)", c.Distinct)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no column reports the true row count; cols: %+v", stats.Cols)
+	}
+
+	// Results must match the unoptimized plans exactly.
+	for _, src := range []string{
+		`count(doc("inv")//item[v = 3])`,
+		`count(doc("inv")//item[v > 7])`,
+	} {
+		want := qctl(t, db, src, true, 0)
+		if got := qctl(t, db, src, false, 0); got != want {
+			t.Errorf("sampled stats diverge for %s: got %s want %s", src, got, want)
+		}
+	}
+
+	// EXPLAIN advertises that its estimates rest on a sample.
+	out := q(t, db, `EXPLAIN doc("inv")//item[v = 3]`)
+	if !strings.Contains(out, "sampled=true") {
+		t.Fatalf("EXPLAIN missing sampled annotation:\n%s", out)
+	}
+
+	// A small document keeps the exact path and the unmarked message.
+	small := sampledDB(50)
+	res = upd(t, small, `ANALYZE doc("inv")`)
+	if s, _ := res.String(); strings.Contains(s, "(sampled)") {
+		t.Fatalf("small-document ANALYZE claims sampling: %s", s)
+	}
+	if st := small.Catalog().DocStats("inv"); st == nil || st.Sampled {
+		t.Fatalf("small-document DocStats.Sampled set: %+v", st)
+	}
+}
+
 func TestAnalyzeErrors(t *testing.T) {
 	db := testDB(t)
 	tx, err := db.Begin()

@@ -2,6 +2,7 @@ package repl_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -9,6 +10,8 @@ import (
 	"sedna/internal/core"
 	"sedna/internal/repl"
 	"sedna/internal/server"
+	"sedna/internal/storage"
+	"sedna/internal/xmlgen"
 )
 
 // startPrimary opens a fresh database and serves it.
@@ -265,4 +268,65 @@ func TestPromoteMakesReplicaWritableAndDurable(t *testing.T) {
 	if got != "1" {
 		t.Fatalf("post-promote write lost after restart: count=%q", got)
 	}
+}
+
+// TestReplicaAppliesBulkLoad streams a primary-side bulk load (whole-page
+// WAL images plus the RecBulkLoad marker) to a replica and requires the
+// replica to serve the identical document, account the load as a load, and
+// keep it through a restart of its own.
+func TestReplicaAppliesBulkLoad(t *testing.T) {
+	srv, db := startPrimary(t)
+	p := connect(t, srv.Addr())
+	mustExec(t, p, `CREATE DOCUMENT "seed"`)
+	mustExec(t, p, `UPDATE insert <r><a>1</a></r> into doc("seed")`)
+
+	dir := t.TempDir()
+	rep, rsrv := startReplica(t, dir, srv.Addr())
+	r := connect(t, rsrv.Addr())
+	waitConverged(t, p, r, `doc("seed")/r`)
+
+	// Bulk-load on the primary through the embedded API (the path every
+	// fresh-document LoadXML takes), while the replica streams.
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.LoadXML("lib", strings.NewReader(xmlgen.LibraryString(300, 11))); err != nil {
+		tx.Rollback()
+		t.Fatalf("bulk load on primary: %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitConverged(t, p, r, `count(doc("lib")//node())`)
+	if data := waitConverged(t, p, r, `doc("lib")/library/book[5]`); data == "" {
+		t.Fatal("empty converged serialization")
+	}
+	if n := rep.DB().Metrics().Counter("load.replicated_bulk_loads").Value(); n != 1 {
+		t.Fatalf("load.replicated_bulk_loads = %d, want 1", n)
+	}
+	if n := rep.DB().Metrics().Counter("load.replicated_bulk_nodes").Value(); n == 0 {
+		t.Fatal("load.replicated_bulk_nodes not accounted")
+	}
+
+	// Counters stay approximate during physical apply; promotion recounts
+	// them, after which the bulk-loaded document must verify fully.
+	if _, err := r.Promote(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	rtx, err := rep.DB().BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc, err := rtx.Document("lib")
+	if err != nil {
+		rtx.Rollback()
+		t.Fatalf("replicated document missing: %v", err)
+	}
+	if err := storage.VerifyDoc(rtx.Tx, doc); err != nil {
+		rtx.Rollback()
+		t.Fatalf("replicated document corrupt after promote: %v", err)
+	}
+	rtx.Rollback()
 }

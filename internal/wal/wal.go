@@ -51,6 +51,11 @@ const (
 	// with Txn == 0 it is a standalone watermark written after a checkpoint
 	// or a seed, flushed before it is relied upon.
 	RecReplApplied
+	// RecBulkLoad marks a completed streaming bulk load of one document.
+	// The whole-page images of the load precede it in the same transaction,
+	// so redo needs nothing from it; replicas use it to account the load as
+	// a load (one record) instead of N per-node inserts.
+	RecBulkLoad
 )
 
 // Record is the union of all log record payloads; which fields are
@@ -81,6 +86,11 @@ type Record struct {
 	// re-applied when the stream overlaps).
 	RestartLSN uint64
 	CommitLSN  uint64
+
+	// RecBulkLoad: load summary (DocID and Name identify the document).
+	Nodes  uint64
+	Blocks uint64
+	Bytes  uint64
 }
 
 // ErrCorrupt reports a malformed record in the middle of the log (not a
@@ -470,6 +480,12 @@ func encodeRecord(r *Record) []byte {
 	case RecReplApplied:
 		b = binary.LittleEndian.AppendUint64(b, r.RestartLSN)
 		b = binary.LittleEndian.AppendUint64(b, r.CommitLSN)
+	case RecBulkLoad:
+		b = binary.LittleEndian.AppendUint32(b, r.DocID)
+		b = appendString(b, r.Name)
+		b = binary.LittleEndian.AppendUint64(b, r.Nodes)
+		b = binary.LittleEndian.AppendUint64(b, r.Blocks)
+		b = binary.LittleEndian.AppendUint64(b, r.Bytes)
 	case RecBegin, RecAbort, RecCheckpoint:
 		// no payload beyond type+txn
 	}
@@ -581,6 +597,12 @@ func decodeRecord(payload []byte) (*Record, error) {
 	case RecReplApplied:
 		r.RestartLSN = d.u64()
 		r.CommitLSN = d.u64()
+	case RecBulkLoad:
+		r.DocID = d.u32()
+		r.Name = d.str()
+		r.Nodes = d.u64()
+		r.Blocks = d.u64()
+		r.Bytes = d.u64()
 	case RecBegin, RecAbort, RecCheckpoint:
 	default:
 		return nil, fmt.Errorf("%w: unknown type %d", ErrCorrupt, r.Type)

@@ -43,4 +43,7 @@ go run ./cmd/sedna-bench -run E22
 echo "== optimizer smoke (E23: costed plans vs hand-forced, <=1.1x regression, >=2x selective speedup) =="
 go run ./cmd/sedna-bench -run E23
 
+echo "== bulk-load smoke (E24: streaming loader vs node-at-a-time, byte-identity, >=3x speedup, crash leg) =="
+go run ./cmd/sedna-bench -run E24
+
 echo "check.sh: all green"

@@ -37,6 +37,18 @@ import (
 	"sedna/internal/query"
 )
 
+// BulkLoadMode selects the document-ingest path LoadXML uses.
+type BulkLoadMode int
+
+const (
+	// BulkLoadAuto (the default) streams freshly created documents through
+	// the direct block-construction bulk loader; fragment inserts into
+	// existing documents always use the node-at-a-time path.
+	BulkLoadAuto BulkLoadMode = iota
+	// BulkLoadOff forces the node-at-a-time insert path everywhere.
+	BulkLoadOff
+)
+
 // Options configures Open. The zero value (or nil) uses defaults.
 type Options struct {
 	// BufferPages is the buffer-pool capacity in 16 KiB pages
@@ -81,6 +93,11 @@ type Options struct {
 	// (0 = default 256 MiB). Least-recently-used copies are evicted; a
 	// document larger than the whole budget always stays on the paged path.
 	ResidentBudget int64
+	// BulkLoad selects the LoadXML ingest path (default BulkLoadAuto: direct
+	// block construction for fresh documents). BulkLoadOff is the escape
+	// hatch back to node-at-a-time inserts; both paths produce byte-identical
+	// documents.
+	BulkLoad BulkLoadMode
 }
 
 // DB is an open database.
@@ -108,6 +125,7 @@ func Open(dir string, opts *Options) (*DB, error) {
 		PrefetchDepth:      o.PrefetchDepth,
 		Resident:           o.Resident,
 		ResidentBudget:     o.ResidentBudget,
+		BulkLoad:           core.BulkLoadMode(o.BulkLoad),
 	})
 	if err != nil {
 		return nil, err
